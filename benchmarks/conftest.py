@@ -1,0 +1,41 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper:
+``benchmark()`` times a representative simulated workload (wall-clock of
+the simulator — useful for tracking simulator performance), and the
+assertions check the *paper's qualitative shape* on the simulated
+metrics (who wins, by roughly what factor, where crossovers fall).
+
+The expensive Figure 5/6 measurement matrix is collected once per
+session and shared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.config import SCALES
+from repro.bench.experiments.latency_matrix import collect_matrix
+
+#: benchmarks run at the tiny scale so `pytest benchmarks/` stays fast;
+#: use `python -m repro.bench all --scale medium` for the full reports
+SCALE = SCALES["tiny"]
+SEED = 42
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def matrix():
+    """(trace, load factor, scheme) → RunResult for the whole grid."""
+    return collect_matrix(SCALE, SEED)
+
+
+def pairwise_ratio(matrix, trace, lf, logged, plain, op, metric):
+    """metric ratio logged/plain for one grid cell."""
+    a = getattr(matrix[(trace, lf, logged)].phase(op), metric)
+    b = getattr(matrix[(trace, lf, plain)].phase(op), metric)
+    return a / b

@@ -1,0 +1,44 @@
+"""Bulk-load benchmark: the loading fast path vs one-at-a-time inserts."""
+
+import pytest
+
+from benchmarks.conftest import SCALE, SEED
+from repro.bench.config import make_trace, region_for
+from repro.core import GroupHashTable, bulk_load
+
+
+def build_and_items(n_items):
+    trace = make_trace("randomnum", seed=SEED)
+    region = region_for(SCALE.total_cells, trace.spec)
+    table = GroupHashTable(
+        region, SCALE.total_cells, trace.spec, group_size=SCALE.group_size
+    )
+    return region, table, trace.items(n_items)
+
+
+def test_bulk_load_wallclock(benchmark):
+    n = SCALE.total_cells // 4
+
+    def load():
+        region, table, items = build_and_items(n)
+        bulk_load(table, items)
+        return region, table
+
+    region, table = benchmark.pedantic(load, rounds=1, iterations=1)
+    assert table.count == n
+
+
+def test_bulk_load_simulated_speedup(benchmark):
+    n = SCALE.total_cells // 4
+
+    def measure():
+        r1, t1, items = build_and_items(n)
+        for k, v in items:
+            t1.insert(k, v)
+        r2, t2, items = build_and_items(n)
+        bulk_load(t2, items)
+        return r1.stats.sim_time_ns, r2.stats.sim_time_ns
+
+    incremental_ns, bulk_ns = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # one flush per touched line instead of three persists per item
+    assert bulk_ns < 0.5 * incremental_ns

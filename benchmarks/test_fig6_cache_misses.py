@@ -1,0 +1,85 @@
+"""Figure 6 — average L3 cache misses, full grid.
+
+Paper shape: contiguity wins — linear probing and group hashing produce
+few misses, path hashing (probe path scattered across level arrays) the
+most, and logging roughly doubles miss counts.
+"""
+
+import pytest
+
+from repro.bench.config import SCHEMES
+
+
+def grid_misses(matrix, trace, lf, op):
+    return {s: matrix[(trace, lf, s)].phase(op).avg_misses for s in SCHEMES}
+
+
+def test_fig6_grid_collection(benchmark, matrix):
+    grid = benchmark(
+        lambda: {
+            (t, lf, op): grid_misses(matrix, t, lf, op)
+            for t in ("randomnum", "bagofwords", "fingerprint")
+            for lf in (0.5, 0.75)
+            for op in ("insert", "query", "delete")
+        }
+    )
+    assert all(all(v >= 0 for v in g.values()) for g in grid.values())
+
+
+def test_path_has_most_query_misses(benchmark, matrix):
+    """Non-contiguous probe paths: path hashing pays a miss per level."""
+    def check():
+        out = []
+        for trace in ("randomnum", "bagofwords", "fingerprint"):
+            for lf in (0.5, 0.75):
+                misses = grid_misses(matrix, trace, lf, "query")
+                out.append(
+                    misses["path"] > misses["linear"]
+                    and misses["path"] > misses["group"]
+                )
+        return out
+
+    assert all(benchmark(check))
+
+
+def test_group_query_misses_near_linear(benchmark, matrix):
+    """Group sharing's point: collision scans are contiguous, so group's
+    demand misses stay within ~2x of linear probing's (both ~1 line)."""
+    vals = benchmark(
+        lambda: {
+            lf: (
+                grid_misses(matrix, "randomnum", lf, "query")["group"],
+                grid_misses(matrix, "randomnum", lf, "query")["linear"],
+            )
+            for lf in (0.5, 0.75)
+        }
+    )
+    for lf, (group, linear) in vals.items():
+        assert group < 2.0 * linear + 0.5, (lf, group, linear)
+
+
+def test_logging_doubles_misses(benchmark, matrix):
+    def ratios():
+        out = []
+        for plain, logged in (("linear", "linear-L"), ("pfht", "pfht-L"), ("path", "path-L")):
+            for op in ("insert", "delete"):
+                a = matrix[("randomnum", 0.5, plain)].phase(op).avg_misses
+                b = matrix[("randomnum", 0.5, logged)].phase(op).avg_misses
+                out.append(b / a)
+        return out
+
+    values = benchmark(ratios)
+    assert min(values) > 1.4
+    avg = sum(values) / len(values)
+    assert 1.6 < avg < 3.0  # paper: 2.16x
+
+
+def test_linear_delete_misses_blow_up_at_high_load(benchmark, matrix):
+    vals = benchmark(
+        lambda: (
+            grid_misses(matrix, "randomnum", 0.75, "delete")["linear"],
+            grid_misses(matrix, "randomnum", 0.75, "delete")["group"],
+        )
+    )
+    linear, group = vals
+    assert linear > 1.5 * group

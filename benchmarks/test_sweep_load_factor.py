@@ -1,0 +1,64 @@
+"""Load-factor sweep benchmark (extension figure).
+
+Asserts the curve shapes that the paper's 0.5/0.75 sample points imply:
+linear's delete curve is super-linear in load, PFHT's insert takes off
+past ~0.55 (stash pressure), path's and group's delete curves stay flat.
+"""
+
+import pytest
+
+from benchmarks.conftest import SCALE, SEED
+from repro.bench.experiments import sweep_lf
+
+
+@pytest.fixture(scope="module")
+def result():
+    return sweep_lf.run(SCALE, seed=SEED)
+
+
+def test_sweep_covers_grid(benchmark, result):
+    data = benchmark(lambda: result.data)
+    assert set(data) == {"linear", "pfht", "path", "group"}
+    for scheme, curve in data.items():
+        assert set(curve) == set(sweep_lf.LOAD_FACTORS)
+
+
+def test_linear_delete_curve_superlinear(benchmark, result):
+    data = benchmark(lambda: result.data)
+    curve = [data["linear"][lf]["delete"] for lf in sweep_lf.LOAD_FACTORS]
+    # strictly increasing and accelerating: last step > 2x first step
+    assert all(b > a for a, b in zip(curve, curve[1:]))
+    first_step = curve[1] - curve[0]
+    last_step = curve[-1] - curve[-2]
+    assert last_step > 2 * first_step
+
+
+def test_pfht_insert_takes_off_with_stash(benchmark, result):
+    data = benchmark(lambda: result.data)
+    low = data["pfht"][0.25]["insert"]
+    high = data["pfht"][0.85]["insert"]
+    assert high > 1.4 * low
+    # while path's insert grows far less steeply
+    path_ratio = data["path"][0.85]["insert"] / data["path"][0.25]["insert"]
+    pfht_ratio = high / low
+    assert pfht_ratio > path_ratio
+
+
+def test_group_delete_stays_flat(benchmark, result):
+    data = benchmark(lambda: result.data)
+    curve = [data["group"][lf]["delete"] for lf in sweep_lf.LOAD_FACTORS]
+    assert curve[-1] < 1.35 * curve[0]  # bounded group scan, no shifting
+    linear_curve = [data["linear"][lf]["delete"] for lf in sweep_lf.LOAD_FACTORS]
+    assert linear_curve[-1] / linear_curve[0] > 3 * (curve[-1] / curve[0])
+
+
+def test_query_curves_rank_consistently(benchmark, result):
+    """At every load factor: contiguous probes (linear) stay cheapest,
+    and the sharing schemes (path, group) track each other."""
+    data = benchmark(lambda: result.data)
+    for lf in sweep_lf.LOAD_FACTORS[2:]:  # past trivial occupancy
+        linear = data["linear"][lf]["query"]
+        group = data["group"][lf]["query"]
+        path = data["path"][lf]["query"]
+        assert linear <= group * 1.05, lf
+        assert abs(group - path) < 0.45 * path, lf

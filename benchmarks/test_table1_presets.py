@@ -1,0 +1,34 @@
+"""Table 1 — memory-technology characteristics, encoded as presets.
+
+Benchmarks one simulated persist on each technology and asserts the
+write-latency ordering of the paper's Table 1 holds in the model.
+"""
+
+import pytest
+
+from repro.nvm import NVMRegion, SimConfig, TECHNOLOGY_PRESETS
+from repro.nvm.cache import CacheConfig
+
+CACHE = CacheConfig(size_bytes=8192, line_size=64, associativity=2)
+
+
+def persist_cost(tech: str) -> float:
+    region = NVMRegion(1 << 16, SimConfig(latency=TECHNOLOGY_PRESETS[tech], cache=CACHE))
+    region.write(0, b"x" * 8)
+    before = region.stats.sim_time_ns
+    region.persist(0, 8)
+    return region.stats.sim_time_ns - before
+
+
+@pytest.mark.parametrize("tech", sorted(TECHNOLOGY_PRESETS))
+def test_persist_cost_per_technology(benchmark, tech):
+    cost = benchmark(persist_cost, tech)
+    assert cost > 0
+
+
+def test_table1_write_latency_ordering(benchmark):
+    costs = benchmark(lambda: {t: persist_cost(t) for t in TECHNOLOGY_PRESETS})
+    # Table 1: DRAM (10ns) < STT-MRAM (10-30) < ReRAM (100) < PCM (150-1000)
+    assert costs["dram"] < costs["stt-mram"] < costs["reram"] < costs["pcm"]
+    # the paper's emulation knob sits between ReRAM and PCM
+    assert costs["reram"] <= costs["paper-nvm"] <= costs["pcm"]

@@ -1,0 +1,48 @@
+"""Write-traffic benchmark: the paper's "write-efficient" title claim."""
+
+import pytest
+
+from benchmarks.conftest import SCALE, SEED
+from repro.bench.experiments import writes
+
+
+@pytest.fixture(scope="module")
+def result():
+    return writes.run(SCALE, seed=SEED)
+
+
+def test_logging_doubles_write_bytes(benchmark, result):
+    data = benchmark(lambda: result.data)
+    for plain, logged in (("linear", "linear-L"), ("pfht", "pfht-L"), ("path", "path-L")):
+        assert data[logged]["ins_bytes"] > 1.7 * data[plain]["ins_bytes"]
+        assert data[logged]["ins_flushes"] > 1.7 * data[plain]["ins_flushes"]
+
+
+def test_group_write_traffic_is_minimal(benchmark, result):
+    """Group hashing never writes more than any consistent rival and
+    matches the unlogged baselines' floor (cell + count)."""
+    data = benchmark(lambda: result.data)
+    group = data["group"]
+    for rival in ("linear-L", "pfht-L", "path-L"):
+        assert group["ins_bytes"] < 0.6 * data[rival]["ins_bytes"]
+        assert group["del_bytes"] < 0.6 * data[rival]["del_bytes"]
+    # floor: within 10% of the cheapest unlogged scheme
+    floor = min(data[s]["ins_bytes"] for s in ("linear", "pfht", "path"))
+    assert group["ins_bytes"] <= 1.1 * floor
+
+
+def test_linear_delete_amplifies_writes(benchmark, result):
+    """Backward shifting rewrites cluster cells: linear's delete bytes
+    exceed its insert bytes; group's do not."""
+    data = benchmark(lambda: result.data)
+    assert data["linear"]["del_bytes"] > 1.2 * data["linear"]["ins_bytes"]
+    assert data["group"]["del_bytes"] < 1.1 * data["group"]["ins_bytes"]
+
+
+def test_amplification_is_line_granularity_bound(benchmark, result):
+    """Every flush writes a whole 64-byte line for a 16-byte payload, so
+    amplification ≈ flushes x 4; sanity-pin the accounting."""
+    data = benchmark(lambda: result.data)
+    for scheme, values in data.items():
+        expected = values["ins_flushes"] * 64 / 16
+        assert values["amplification"] == pytest.approx(expected, rel=0.15), scheme

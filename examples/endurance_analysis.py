@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""NVM endurance: write traffic, wear hot spots, and start-gap leveling.
+
+The paper's Section 2.1 motivates write reduction with NVM's limited
+endurance (Table 1: 10^8 writes for PCM) and notes that group hashing
+"can be combined with wear-leveling schemes to further lengthen NVM's
+lifetime". This example quantifies both halves of that sentence:
+
+1. run the same workload on group hashing and on undo-logged linear
+   probing, with per-cacheline wear tracking, and translate the hottest
+   line's write count into consumed PCM lifetime;
+2. rerun group hashing on a start-gap wear-levelled device and show the
+   hot spot being smeared across the device.
+
+Run:  python examples/endurance_analysis.py
+"""
+
+from repro import (
+    CacheConfig,
+    GroupHashTable,
+    LinearProbingTable,
+    NVMRegion,
+    SimConfig,
+    UndoLog,
+    WearLevelledRegion,
+)
+from repro.traces import RandomNumTrace
+
+PCM_ENDURANCE = 1e8  # Table 1
+N_CELLS = 2**10
+OPS = 3000
+
+CFG = SimConfig(cache=CacheConfig(size_bytes=16 * 1024), track_wear=True)
+
+
+def run_workload(region, table):
+    trace = RandomNumTrace(seed=3)
+    stream = trace.unique_items()
+    resident = []
+    for _ in range(OPS):
+        key, value = next(stream)
+        if table.insert(key, value):
+            resident.append(key)
+        if len(resident) > N_CELLS // 3:  # steady-state churn
+            table.delete(resident.pop(0))
+    return region.wear.report()
+
+
+def describe(name, region, report):
+    lifetime_pct = 100 * report.lifetime_fraction(PCM_ENDURANCE) * (1e8 / OPS)
+    print(f"{name:<22} {report.total_line_writes:>8} line writes   "
+          f"hottest line {report.max_line_writes:>6}   "
+          f"imbalance {report.imbalance:6.1f}x   "
+          f"hot-1% share {report.hot1pct_share:5.1%}")
+    # extrapolate: at this per-op wear rate, how many ops until the
+    # hottest line dies?
+    ops_to_death = PCM_ENDURANCE / (report.max_line_writes / OPS)
+    print(f"{'':<22} -> on PCM (10^8 endurance), hottest line survives "
+          f"~{ops_to_death:.2e} operations")
+
+
+def main() -> None:
+    print(f"steady-state churn workload, {OPS} ops, wear tracked per 64-B line\n")
+
+    region = NVMRegion(1 << 20, CFG)
+    table = GroupHashTable(region, N_CELLS, group_size=64)
+    describe("group hashing", region, run_workload(region, table))
+
+    region = NVMRegion(1 << 20, CFG)
+    log = UndoLog(region, record_size=32, capacity=4096)
+    table = LinearProbingTable(region, N_CELLS, log=log)
+    describe("linear + undo log", region, run_workload(region, table))
+
+    print("\nthe log tail takes 2 writes/op and the count line 1/op — the "
+          "log's duplicate-copy\nwrites both add traffic and concentrate it "
+          "(the paper's endurance argument).\n")
+
+    wl = WearLevelledRegion(64 * 1024, CFG, rotate_every=2)
+    table = GroupHashTable(wl, N_CELLS, group_size=64)
+    describe("group + start-gap", wl, run_workload(wl, table))
+    print(f"{'':<22} -> start/gap registers rotated the hot metadata line "
+          f"across {wl.mapper.n + 1} physical slots")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Walk through the paper's Figure 1 — the three inconsistency cases.
+
+Figure 1 shows what can go wrong when a system failure interrupts a
+naive hash-table insertion on NVM:
+
+  case 1: crash after the key-value write, before the count update
+          → count is stale;
+  case 2: the count update reaches NVM *before* the key-value pair
+          (store reordering), crash in between → count overshoots;
+  case 3: crash in the middle of the key-value write itself
+          → the value field is torn (partially written).
+
+This script reproduces each case on the simulator with a *naive* insert
+(no commit protocol), shows the damage, then repeats the experiment with
+group hashing's Algorithm 1 + Algorithm 4 and shows all three vanish.
+
+Run:  python examples/figure1_inconsistencies.py
+"""
+
+from repro import GroupHashTable, ItemSpec, NVMRegion, SimulatedPowerFailure
+from repro.nvm.crash import FunctionSchedule, drop_all_schedule, persist_all_schedule
+from repro.tables.cell import CellCodec
+
+SPEC = ItemSpec(8, 8)
+
+
+def naive_region():
+    """A bare region holding: count (8 B at 0) + one cell at 64."""
+    region = NVMRegion(4096)
+    region.alloc(64, label="count")
+    region.alloc(64, align=64, label="cell")
+    return region
+
+
+def naive_insert(region, key, value):
+    """Figure 1's pseudocode: write kv, then count++ — no ordering, no
+    commit bit. Both writes sit in the cache until flushed."""
+    codec = CellCodec(SPEC)
+    codec.write_kv(region, 64, key, value)
+    codec.set_occupied(region, 64, True)
+    count = region.read_u64(0)
+    region.write_u64(0, count + 1)
+
+
+def show(title, region):
+    codec = CellCodec(SPEC)
+    count = int.from_bytes(region.peek_persistent(0, 8), "little")
+    occupied = region.peek_persistent(64, 1)[0] & 1
+    kv = region.peek_persistent(72, 16)
+    print(f"  {title}: count={count} occupied={occupied} "
+          f"key={kv[:8]!r} value={kv[8:]!r}")
+
+
+def main() -> None:
+    key, value = b"\x15\0\0\0\0\0\0\0", b"HashTabl"  # (21, "Hash Table")
+
+    print("== Naive insertion (Figure 1's pseudocode), three crash cases ==\n")
+
+    print("case 1: kv persisted, crash before count update")
+    region = naive_region()
+    naive_insert(region, key, value)
+    # cacheline of the cell persists (evicted), count line does not
+    region.crash(FunctionSchedule(lambda line, offs: offs if line >= 64 else []))
+    show("state", region)
+    print("  -> item is present but count == 0: INCONSISTENT\n")
+
+    print("case 2: count update reordered ahead, crash before kv write")
+    region = naive_region()
+    naive_insert(region, key, value)
+    region.crash(FunctionSchedule(lambda line, offs: offs if line < 64 else []))
+    show("state", region)
+    print("  -> count == 1 but no item: INCONSISTENT\n")
+
+    print("case 3: crash tears the 16-byte kv write")
+    region = naive_region()
+    naive_insert(region, key, value)
+    # persist the header+key words of the cell line, drop the value word
+    region.crash(FunctionSchedule(lambda line, offs: [o for o in offs if o < 80]))
+    show("state", region)
+    print("  -> value field half-written: INCONSISTENT\n")
+
+    print("== Group hashing: same crashes, Algorithm 1 + recovery ==\n")
+    for case, at_event, schedule in (
+        (1, 7, persist_all_schedule()),   # after bitmap commit, before count
+        (2, 4, drop_all_schedule()),      # kv persisted, bitmap not yet
+        (3, 2, FunctionSchedule(lambda line, offs: offs[:1])),  # torn kv
+    ):
+        region = NVMRegion(1 << 20)
+        table = GroupHashTable(region, 512, SPEC, group_size=32)
+        table.insert(b"pre-item", b"durable!")
+        region.arm_crash(at_event)
+        try:
+            table.insert(key, value)
+        except SimulatedPowerFailure:
+            pass
+        region.crash(schedule)
+        table.reattach()
+        table.recover()
+        present = table.query(key)
+        consistent = table.check_count() and table.query(b"pre-item") == b"durable!"
+        print(f"  case {case}: after recovery -> in-flight item "
+              f"{'committed' if present else 'rolled away'}, "
+              f"count consistent: {consistent}")
+    print("\nall three cases recover to a consistent state — the 8-byte "
+          "atomic bitmap is the only commit point, and Algorithm 4 "
+          "repairs count and clears torn cells.")
+
+
+if __name__ == "__main__":
+    main()

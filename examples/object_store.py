@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Variable-size object store: the KV layer over group hashing.
+
+The paper's fixed-cell hash table indexes 16–32-byte items; real
+key-value workloads (its own motivation: memcached) carry variable-size
+values. `repro.kv.KVStore` composes three pieces of this repository:
+
+- a slab allocator whose bookkeeping costs *zero* NVM writes (it is
+  rebuilt from the index on recovery),
+- out-of-place value writes persisted before publication,
+- group hashing's 8-byte-atomic insert as the single commit point.
+
+This example stores JSON-ish session blobs of wildly varying size,
+crashes mid-PUT, recovers, and audits storage utilization.
+
+Run:  python examples/object_store.py
+"""
+
+import random
+
+from repro import NVMRegion, SimulatedPowerFailure, random_schedule
+from repro.kv import KVStore
+
+
+def blob(rng: random.Random, user: int) -> bytes:
+    fields = [f'"visit{i}":"page-{rng.randint(1, 999)}"' for i in range(rng.randint(1, 40))]
+    return (f'{{"user":{user},' + ",".join(fields) + "}").encode()
+
+
+def main() -> None:
+    region = NVMRegion(16 << 20)
+    store = KVStore(
+        region,
+        n_index_cells=1 << 12,
+        group_size=128,
+        max_value=4096,
+        slab_bytes_per_class=1 << 20,
+    )
+    rng = random.Random(7)
+
+    # ---- load session objects -----------------------------------------
+    sessions = {}
+    before = region.stats.snapshot()
+    for user in range(1500):
+        key = f"session:{user}".encode()
+        value = blob(rng, user)
+        store.put(key, value)
+        sessions[key] = value
+    delta = region.stats.delta(before)
+    sizes = [len(v) for v in sessions.values()]
+    print(f"stored {len(sessions)} sessions, value sizes "
+          f"{min(sizes)}-{max(sizes)} B (mean {sum(sizes)//len(sizes)})")
+    print(f"  {delta.sim_time_ns / len(sessions):.0f} simulated ns/PUT, "
+          f"{delta.flushes / len(sessions):.1f} flushes/PUT "
+          f"(allocator itself: 0 — bookkeeping is derived, not persisted)")
+    print("  slab utilization:",
+          {k: round(v, 2) for k, v in store.slab.utilization().items() if v})
+
+    # ---- read back, overwrite, delete ---------------------------------
+    for key, value in list(sessions.items())[:200]:
+        assert store.get(key) == value
+    for user in range(0, 300, 3):
+        key = f"session:{user}".encode()
+        new = blob(rng, user)
+        store.put(key, new)
+        sessions[key] = new
+    for user in range(1000, 1100):
+        key = f"session:{user}".encode()
+        store.delete(key)
+        del sessions[key]
+    print(f"\nafter churn: {len(store)} sessions, "
+          f"{store.slab.allocated_chunks()} live chunks")
+
+    # ---- crash mid-PUT -------------------------------------------------
+    region.arm_crash(2)
+    key = b"session:inflight"
+    try:
+        store.put(key, blob(rng, 9999))
+    except SimulatedPowerFailure:
+        report = region.crash(random_schedule(2018))
+        print(f"\npower failure mid-PUT ({report.words_persisted} words "
+              f"persisted, {report.words_dropped} dropped)")
+        store.recover()
+
+    state = dict(store.items())
+    assert all(state[k] == v for k, v in sessions.items()), "lost a session!"
+    assert store.slab.allocated_chunks() == len(state), "allocator leaked!"
+    print(f"recovered: all {len(sessions)} committed sessions intact, "
+          f"in-flight PUT {'published' if key in state else 'rolled away'}, "
+          f"allocator rebuilt with zero leaks")
+
+
+if __name__ == "__main__":
+    main()

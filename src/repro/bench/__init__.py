@@ -1,0 +1,47 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+Entry points:
+
+- ``python -m repro.bench <experiment>`` where experiment is one of
+  ``fig2 fig5 fig6 fig7 fig8 table3 ablations all`` — prints the same
+  rows/series the paper reports, from the simulator's clock and miss
+  counters;
+- :func:`repro.bench.runner.run_workload` / ``measure_*`` for
+  programmatic use (the pytest benchmarks call these).
+
+Scales: the paper fills 2^23–2^25-cell tables; a pure-Python simulator
+cannot, so every experiment takes a :class:`~repro.bench.config.Scale`
+(default ``small``) that shrinks the table while keeping the
+cache:table ratio — all reported metrics are per-request intensive
+quantities whose shape survives the scaling (DESIGN.md Section 2).
+"""
+
+from repro.bench.config import (
+    SCALES,
+    SCHEMES,
+    Scale,
+    build_table,
+    region_for,
+)
+from repro.bench.runner import (
+    OpMetrics,
+    RunResult,
+    RunSpec,
+    measure_recovery,
+    measure_space_utilization,
+    run_workload,
+)
+
+__all__ = [
+    "OpMetrics",
+    "RunResult",
+    "RunSpec",
+    "SCALES",
+    "SCHEMES",
+    "Scale",
+    "build_table",
+    "measure_recovery",
+    "measure_space_utilization",
+    "region_for",
+    "run_workload",
+]

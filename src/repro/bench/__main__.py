@@ -1,0 +1,110 @@
+"""CLI: ``python -m repro.bench <experiment> [--scale small] [--seed 42]``.
+
+Regenerates the paper's tables and figures as text reports. ``all`` runs
+every experiment in paper order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench.config import SCALES
+from repro.bench.experiments import (
+    ablations,
+    fig2,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    negative,
+    sweep_lf,
+    table3,
+    writes,
+)
+from repro.bench.report import hrule
+
+EXPERIMENTS = {
+    "fig2": fig2.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "table3": table3.run,
+    "ablations": ablations.run,
+    "sweep": sweep_lf.run,
+    "writes": writes.run,
+    "negative": negative.run,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation tables and figures "
+        "on the simulated NVM hierarchy.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(SCALES),
+        help="table-size preset (DESIGN.md explains the scaling argument)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also dump the structured results as JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale]
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    # run in paper order when "all"
+    if args.experiment == "all":
+        names = [
+            "fig2", "fig5", "fig6", "fig7", "fig8", "table3",
+            "writes", "ablations", "sweep", "negative",
+        ]
+
+    dump: dict[str, object] = {"scale": scale.name, "seed": args.seed}
+    for name in names:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name](scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        print(hrule(f"{result.paper_ref} ({name}, scale={scale.name})"))
+        print(result.text)
+        print(f"  [wall-clock {elapsed:.1f}s — latencies above are simulated ns]")
+        dump[name] = _jsonable(result.data)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(dump, fh, indent=2)
+        print(f"\nstructured results written to {args.json}")
+    return 0
+
+
+def _jsonable(value):
+    """Coerce experiment payloads (tuple/float-keyed dicts) to JSON."""
+    if isinstance(value, dict):
+        return {_key(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def _key(key) -> str:
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Analytic models of the hashing schemes, for validating the simulator.
+
+The schemes' probe behaviour has closed forms under uniform hashing;
+having them next to the simulator serves two purposes:
+
+- **cross-validation**: property tests check the simulated occupancies
+  and probe lengths against theory (a systematic deviation would mean a
+  scheme or substrate bug);
+- **extrapolation**: the paper runs 2^23-cell tables; the models say how
+  the scaled-down measurements extrapolate (all the quantities below
+  depend only on the load factor, not the absolute size — the formal
+  version of DESIGN.md's scaling argument).
+
+Models (m items, level size n, group size G; α = load factor over all
+cells):
+
+- group hashing level-1 occupancy: balls-into-bins first-choice —
+  ``n·(1 − (1 − 1/n)^m) ≈ n·(1 − e^(−m/n))``;
+- level-2 population: the overflow, ``m − occupancy₁``;
+- expected level-2 scan to the first empty cell of a group with fill
+  fraction f: the group is prefix-packed under insert-only load, so the
+  scan length is simply the fill, ``f·G`` cells;
+- linear probing (Knuth): successful search ``(1 + 1/(1−α))/2`` probes,
+  insertion/unsuccessful ``(1 + 1/(1−α)²)/2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.nvm.latency import LatencyModel
+
+
+def group_level1_occupancy(m: int, n_level: int) -> float:
+    """Expected occupied level-1 cells after ``m`` insert-only items."""
+    if m < 0 or n_level <= 0:
+        raise ValueError("m must be ≥ 0 and n_level positive")
+    return n_level * (1.0 - (1.0 - 1.0 / n_level) ** m)
+
+
+def group_level2_population(m: int, n_level: int) -> float:
+    """Expected items living in level 2 (the overflow)."""
+    return m - group_level1_occupancy(m, n_level)
+
+
+def group_fill_fraction(m: int, n_level: int) -> float:
+    """Expected fill fraction of a level-2 group."""
+    return group_level2_population(m, n_level) / n_level
+
+
+def expected_group_scan_cells(m: int, n_level: int, group_size: int) -> float:
+    """Expected cells scanned by a colliding insert (first empty cell of
+    a prefix-packed group)."""
+    return group_fill_fraction(m, n_level) * group_size
+
+
+def level1_hit_rate(m: int, n_level: int) -> float:
+    """Probability a random *resident* item lives in level 1."""
+    if m == 0:
+        return 1.0
+    return group_level1_occupancy(m, n_level) / m
+
+
+def linear_success_probes(alpha: float) -> float:
+    """Knuth: expected probes for a successful linear-probing search."""
+    if not 0 <= alpha < 1:
+        raise ValueError("alpha must be in [0, 1)")
+    return 0.5 * (1.0 + 1.0 / (1.0 - alpha))
+
+
+def linear_insert_probes(alpha: float) -> float:
+    """Knuth: expected probes for insertion / unsuccessful search."""
+    if not 0 <= alpha < 1:
+        raise ValueError("alpha must be in [0, 1)")
+    return 0.5 * (1.0 + 1.0 / (1.0 - alpha) ** 2)
+
+
+@dataclass(frozen=True)
+class CommitCost:
+    """Cost of the shared three-persist commit discipline, from a
+    latency model (used to sanity-check simulated insert latency)."""
+
+    model: LatencyModel
+
+    @property
+    def flushes(self) -> int:
+        return 3  # kv, bitmap, count
+
+    @property
+    def fences(self) -> int:
+        return 3
+
+    @property
+    def ns(self) -> float:
+        # three dirty-line flushes + fences + the header re-fill after the
+        # kv flush invalidated the cell line + the count line re-fill
+        return (
+            3 * self.model.flush_cost(dirty=True)
+            + 3 * self.model.fence_ns
+            + 2 * self.model.line_fill_ns
+        )
+
+
+def predicted_group_insert_ns(
+    m: int, n_level: int, group_size: int, model: LatencyModel
+) -> float:
+    """First-order prediction of group hashing's simulated insert cost."""
+    commit = CommitCost(model).ns
+    p_collision = 1.0 - math.exp(-m / n_level)
+    # home-cell fill + (on collision) group-entry fill plus a prefetched
+    # scan over the packed prefix
+    scan_cells = expected_group_scan_cells(m, n_level, group_size)
+    lines_per_cell = 24 / 64  # 24-byte cells on 64-byte lines
+    scan_ns = (
+        model.line_fill_ns
+        + scan_cells * lines_per_cell * model.prefetch_hit_ns
+        + scan_cells * model.cache_hit_ns
+    )
+    return model.line_fill_ns + p_collision * scan_ns + commit
+
+
+def predicted_linear_insert_ns(alpha: float, model: LatencyModel) -> float:
+    """First-order prediction of linear probing's simulated insert cost."""
+    probes = linear_insert_probes(alpha)
+    lines_per_cell = 24 / 64
+    probe_ns = (
+        model.line_fill_ns
+        + (probes - 1) * (model.cache_hit_ns + lines_per_cell * model.prefetch_hit_ns)
+        + probes * model.cache_hit_ns
+    )
+    return probe_ns + CommitCost(model).ns

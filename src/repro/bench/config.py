@@ -1,0 +1,230 @@
+"""Experiment configuration: scales, scheme registry, table factories.
+
+The scheme registry maps the paper's scheme names (including the ``-L``
+logged variants) to factories that build a correctly sized table on a
+fresh region. Sizing rules keep *total cell count* comparable across
+schemes, mirroring the paper's "we use 2^23 hash table cells":
+
+- linear / two-choice / chained / group: ``total_cells`` cells exactly;
+- PFHT: ``total_cells`` bucket cells plus the paper's 3 % stash;
+- path hashing: level 0 gets ``total_cells // 2`` cells so the reserved
+  levels sum to ≈ ``total_cells``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core import GroupHashTable
+from repro.nvm import CacheConfig, NVMRegion, SimConfig, TECHNOLOGY_PRESETS
+from repro.tables import (
+    ChainedHashTable,
+    ItemSpec,
+    LinearProbingTable,
+    PFHTTable,
+    PathHashingTable,
+    PersistentHashTable,
+    UndoLog,
+)
+from repro.tables.cell import CellCodec
+from repro.traces import TRACES, Trace
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Shrunk-but-shape-preserving experiment size.
+
+    ``cache_ratio`` is table-data bytes per cache byte; the paper's
+    RandomNum setting is a 128 MiB table against a 15 MiB L3 (~8.5:1),
+    which is what makes random probes miss.
+    """
+
+    name: str
+    #: target total cells per table (paper: 2^23–2^25)
+    total_cells: int
+    #: measured operations per phase (paper: 1000)
+    measure_ops: int
+    #: group-hashing group size default (paper: 256) — scaled down with
+    #: the table so n_groups stays meaningful
+    group_size: int
+    #: table:cache size ratio
+    cache_ratio: float = 8.0
+    #: table sizes for the Table 3 recovery sweep
+    recovery_cells: tuple[int, ...] = ()
+    #: group sizes for the Figure 8 sweep
+    group_sizes: tuple[int, ...] = (64, 128, 256, 512, 1024)
+
+
+SCALES: dict[str, Scale] = {
+    "tiny": Scale(
+        name="tiny",
+        total_cells=1 << 12,
+        measure_ops=200,
+        group_size=64,
+        recovery_cells=(1 << 10, 1 << 11, 1 << 12, 1 << 13),
+        group_sizes=(16, 32, 64, 128, 256),
+    ),
+    "small": Scale(
+        name="small",
+        total_cells=1 << 14,
+        measure_ops=500,
+        group_size=128,
+        recovery_cells=(1 << 12, 1 << 13, 1 << 14, 1 << 15),
+        group_sizes=(32, 64, 128, 256, 512),
+    ),
+    "medium": Scale(
+        name="medium",
+        total_cells=1 << 16,
+        measure_ops=1000,
+        group_size=256,
+        recovery_cells=(1 << 14, 1 << 15, 1 << 16, 1 << 17),
+        group_sizes=(64, 128, 256, 512, 1024),
+    ),
+    # The paper's actual scale — runnable, but hours of wall-clock in
+    # pure Python; documented for completeness.
+    "paper": Scale(
+        name="paper",
+        total_cells=1 << 23,
+        measure_ops=1000,
+        group_size=256,
+        cache_ratio=8.5,
+        recovery_cells=(1 << 21, 1 << 22, 1 << 23, 1 << 24),
+        group_sizes=(64, 128, 256, 512, 1024),
+    ),
+}
+
+
+#: scheme display order used throughout reports (paper figure order)
+SCHEMES: tuple[str, ...] = (
+    "linear",
+    "linear-L",
+    "pfht",
+    "pfht-L",
+    "path",
+    "path-L",
+    "group",
+)
+
+#: schemes implemented beyond the paper's comparison (exclusion ablation
+#: + contemporaneous related work)
+EXTRA_SCHEMES: tuple[str, ...] = ("chained", "two-choice", "cuckoo", "level")
+
+#: worst-case undo records per operation (backward-shift deletes at high
+#: load factors dominate) — sized generously
+LOG_CAPACITY = 8192
+
+
+def region_for(
+    total_cells: int,
+    spec: ItemSpec,
+    *,
+    cache_ratio: float = 8.0,
+    tech: str = "paper-nvm",
+    logged: bool = False,
+    flush_invalidates: bool = True,
+) -> NVMRegion:
+    """Build a region big enough for any scheme of ``total_cells`` cells,
+    with a cache sized at ``1/cache_ratio`` of the table data."""
+    codec = CellCodec(spec)
+    table_bytes = codec.array_bytes(total_cells)
+    # headroom: metadata, PFHT stash (3 %), chained pool slack, undo log
+    overhead = 1 << 16
+    if logged:
+        overhead += LOG_CAPACITY * (16 + codec.cell_size + 8)
+    size = int(table_bytes * 1.25) + overhead
+    cache_bytes = max(4096, int(table_bytes / cache_ratio))
+    config = SimConfig(
+        latency=TECHNOLOGY_PRESETS[tech],
+        cache=CacheConfig(size_bytes=cache_bytes, line_size=64, associativity=8),
+        flush_invalidates=flush_invalidates,
+    )
+    return NVMRegion(size, config, name=f"bench-{total_cells}")
+
+
+@dataclass
+class BuiltTable:
+    """A table plus the context the runner needs."""
+
+    region: NVMRegion
+    table: PersistentHashTable
+    scheme: str
+    log: UndoLog | None = None
+
+
+def build_table(
+    scheme: str,
+    total_cells: int,
+    spec: ItemSpec,
+    *,
+    group_size: int = 256,
+    seed: int = 0x5EED,
+    cache_ratio: float = 8.0,
+    tech: str = "paper-nvm",
+    flush_invalidates: bool = True,
+    region: NVMRegion | None = None,
+) -> BuiltTable:
+    """Instantiate ``scheme`` (paper name, ``-L`` suffix for logged) with
+    ≈ ``total_cells`` total cells on a fresh (or provided) region."""
+    logged = scheme.endswith("-L")
+    base = scheme[:-2] if logged else scheme
+    if region is None:
+        region = region_for(
+            total_cells,
+            spec,
+            cache_ratio=cache_ratio,
+            tech=tech,
+            logged=logged,
+            flush_invalidates=flush_invalidates,
+        )
+    codec = CellCodec(spec)
+    log = (
+        UndoLog(region, record_size=codec.cell_size, capacity=LOG_CAPACITY)
+        if logged
+        else None
+    )
+
+    table: PersistentHashTable
+    if base == "linear":
+        table = LinearProbingTable(region, total_cells, spec, log=log, seed=seed)
+    elif base == "pfht":
+        table = PFHTTable(region, total_cells, spec, log=log, seed=seed)
+    elif base == "path":
+        # level 0 = total/2 → reserved levels sum to ≈ total_cells
+        table = PathHashingTable(
+            region, max(2, total_cells // 2), spec, log=log, seed=seed
+        )
+    elif base == "group":
+        if log is not None:
+            raise ValueError("group hashing does not take a log")
+        table = GroupHashTable(
+            region, total_cells, spec, group_size=group_size, seed=seed
+        )
+    elif base == "chained":
+        table = ChainedHashTable(region, total_cells, spec, log=log, seed=seed)
+    elif base == "two-choice":
+        from repro.tables import TwoChoiceTable
+
+        table = TwoChoiceTable(region, total_cells, spec, log=log, seed=seed)
+    elif base == "cuckoo":
+        from repro.tables import CuckooHashTable
+
+        table = CuckooHashTable(region, total_cells, spec, log=log, seed=seed)
+    elif base == "level":
+        from repro.tables import LevelHashTable
+
+        table = LevelHashTable(region, total_cells, spec, log=log, seed=seed)
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    return BuiltTable(region=region, table=table, scheme=scheme, log=log)
+
+
+def make_trace(name: str, seed: int = 0) -> Trace:
+    """Instantiate a registered trace by its paper name."""
+    try:
+        cls = TRACES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace {name!r}; choose from {sorted(TRACES)}"
+        ) from None
+    return cls(seed)

@@ -1,0 +1,29 @@
+"""Experiment drivers — one per table/figure of the paper.
+
+Each module exposes ``run(scale, seed=42) -> ExperimentResult``; the CLI
+(`python -m repro.bench`) renders results as text, and the pytest
+benchmarks assert the paper's qualitative shapes on the same structured
+data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment."""
+
+    #: experiment id, e.g. "fig5"
+    name: str
+    #: paper reference, e.g. "Figure 5"
+    paper_ref: str
+    #: arbitrary structured payload (dict of series/rows)
+    data: dict[str, Any] = field(default_factory=dict)
+    #: pre-rendered text report
+    text: str = ""
+
+    def __str__(self) -> str:
+        return self.text

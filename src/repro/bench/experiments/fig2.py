@@ -1,0 +1,91 @@
+"""Figure 2 — the consistency cost of duplicate-copy (logging) writes.
+
+The paper's motivation experiment: linear probing, PFHT and path hashing
+with and without an undo log, on RandomNum at load factor 0.5. Panel (a)
+is average request latency, panel (b) average L3 misses. Headline
+numbers from the paper: the ``-L`` variants are **1.95×** slower and
+produce **2.16×** more L3 misses on insert+delete, while queries are
+unaffected (logging touches only write paths).
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import Scale
+from repro.bench.experiments import ExperimentResult
+from repro.bench.report import format_ratio_note, format_table
+from repro.bench.runner import RunSpec, run_workload
+
+PAIRS = (("linear", "linear-L"), ("pfht", "pfht-L"), ("path", "path-L"))
+OPS = ("insert", "query", "delete")
+
+
+def run(scale: Scale, seed: int = 42) -> ExperimentResult:
+    """Run the Figure 2 consistency-cost experiment at ``scale``."""
+    results = {}
+    for plain, logged in PAIRS:
+        for scheme in (plain, logged):
+            spec = RunSpec.from_scale(scheme, "randomnum", 0.5, scale, seed=seed)
+            results[scheme] = run_workload(spec)
+
+    latency_rows = []
+    miss_rows = []
+    for plain, logged in PAIRS:
+        for scheme in (plain, logged):
+            r = results[scheme]
+            latency_rows.append(
+                (scheme, {op: r.phase(op).avg_latency_ns for op in OPS})
+            )
+            miss_rows.append((scheme, {op: r.phase(op).avg_misses for op in OPS}))
+
+    # the paper's headline: average -L/plain ratio over insert+delete
+    lat_ratios, miss_ratios = [], []
+    for plain, logged in PAIRS:
+        for op in ("insert", "delete"):
+            lat_ratios.append(
+                results[logged].phase(op).avg_latency_ns
+                / results[plain].phase(op).avg_latency_ns
+            )
+            miss_ratios.append(
+                results[logged].phase(op).avg_misses
+                / results[plain].phase(op).avg_misses
+            )
+    lat_ratio = sum(lat_ratios) / len(lat_ratios)
+    miss_ratio = sum(miss_ratios) / len(miss_ratios)
+
+    text = "\n".join(
+        [
+            format_table(
+                "Figure 2(a): request latency, RandomNum, load factor 0.5",
+                OPS,
+                latency_rows,
+                unit="simulated ns/request",
+            ),
+            format_ratio_note(
+                f"logging slowdown (insert+delete avg): {lat_ratio:.2f}x "
+                "(paper: 1.95x)"
+            ),
+            "",
+            format_table(
+                "Figure 2(b): L3 cache misses, RandomNum, load factor 0.5",
+                OPS,
+                miss_rows,
+                unit="misses/request",
+                precision=2,
+            ),
+            format_ratio_note(
+                f"logging miss inflation (insert+delete avg): {miss_ratio:.2f}x "
+                "(paper: 2.16x)"
+            ),
+        ]
+    )
+    return ExperimentResult(
+        name="fig2",
+        paper_ref="Figure 2",
+        data={
+            "latency": {s: {op: results[s].phase(op).avg_latency_ns for op in OPS} for s in results},
+            "misses": {s: {op: results[s].phase(op).avg_misses for op in OPS} for s in results},
+            "latency_ratio": lat_ratio,
+            "miss_ratio": miss_ratio,
+        },
+        text=text,
+    )

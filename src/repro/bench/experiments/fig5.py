@@ -1,0 +1,56 @@
+"""Figure 5 — average request latency across the full evaluation grid.
+
+Seven schemes (linear, linear-L, PFHT, PFHT-L, path, path-L, group) ×
+three traces × two load factors × three operations, reported in
+simulated nanoseconds per request. The paper's qualitative shape:
+
+- group and linear lead; path (non-contiguous probe paths) trails;
+- the ``-L`` variants sit ~2× above their plain versions on writes;
+- linear's delete collapses at load factor 0.75 (backward shifting);
+- PFHT beats path at 0.5 but loses at 0.75 (stash search);
+- Fingerprint (32-byte items) is slower than the 16-byte traces.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import SCHEMES, Scale
+from repro.bench.experiments import ExperimentResult
+from repro.bench.experiments.latency_matrix import (
+    LOAD_FACTORS,
+    OPS,
+    TRACES,
+    collect_matrix,
+)
+from repro.bench.report import format_table
+
+
+def run(scale: Scale, seed: int = 42) -> ExperimentResult:
+    """Run the Figure 5 latency grid at ``scale``."""
+    matrix = collect_matrix(scale, seed)
+    sections = []
+    data: dict[str, dict] = {}
+    for trace in TRACES:
+        for lf in LOAD_FACTORS:
+            rows = []
+            for scheme in SCHEMES:
+                r = matrix[(trace, lf, scheme)]
+                rows.append(
+                    (scheme, {op: r.phase(op).avg_latency_ns for op in OPS})
+                )
+                data.setdefault(trace, {}).setdefault(lf, {})[scheme] = {
+                    op: r.phase(op).avg_latency_ns for op in OPS
+                }
+            sections.append(
+                format_table(
+                    f"Figure 5: request latency — {trace}, load factor {lf}",
+                    OPS,
+                    rows,
+                    unit="simulated ns/request",
+                )
+            )
+    return ExperimentResult(
+        name="fig5",
+        paper_ref="Figure 5",
+        data=data,
+        text="\n\n".join(sections),
+    )

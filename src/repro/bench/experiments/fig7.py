@@ -1,0 +1,55 @@
+"""Figure 7 — space utilization ratios.
+
+Utilization is "the load factor when an item fails to insert into the
+hash table" (paper Section 4.4). Measured for PFHT, path hashing and
+group hashing on each trace; linear probing is omitted exactly as in the
+paper (it has no fixed utilization — probing can always continue to
+load factor 1).
+
+Paper shape: path highest (position sharing + two full paths), PFHT
+slightly below, group ≈ 0.82 — the price of keeping collision cells
+contiguous with a single hash function.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import Scale
+from repro.bench.experiments import ExperimentResult
+from repro.bench.report import format_ratio_note, format_table
+from repro.bench.runner import measure_space_utilization
+
+SCHEMES = ("pfht", "path", "group")
+TRACES = ("randomnum", "bagofwords", "fingerprint")
+
+
+def run(scale: Scale, seed: int = 42) -> ExperimentResult:
+    """Run the Figure 7 utilization experiment at ``scale``."""
+    data: dict[str, dict[str, float]] = {}
+    rows = []
+    for scheme in SCHEMES:
+        values = {}
+        for trace in TRACES:
+            values[trace] = measure_space_utilization(
+                scheme,
+                trace,
+                total_cells=scale.total_cells,
+                group_size=scale.group_size,
+                seed=seed,
+            )
+        data[scheme] = values
+        rows.append((scheme, values))
+    text = "\n".join(
+        [
+            format_table(
+                "Figure 7: space utilization ratio (load factor at first "
+                "insertion failure)",
+                TRACES,
+                rows,
+                precision=3,
+            ),
+            format_ratio_note(
+                "paper shape: path > pfht > group, group ≈ 0.82 on all traces"
+            ),
+        ]
+    )
+    return ExperimentResult(name="fig7", paper_ref="Figure 7", data=data, text=text)

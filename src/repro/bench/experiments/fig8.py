@@ -1,0 +1,73 @@
+"""Figure 8 — effect of the group size.
+
+Sweep the group size (the paper sweeps 64–1024; scaled presets sweep a
+range with the same 16× span) on RandomNum at load factor 0.5,
+reporting (a) request latency per operation and (b) the space
+utilization ratio.
+
+Paper shape: both latency *and* utilization increase with group size —
+larger groups mean longer collision scans but more sharing flexibility;
+256 is chosen as the knee (>80 % utilization at acceptable latency).
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import Scale
+from repro.bench.experiments import ExperimentResult
+from repro.bench.report import format_ratio_note, format_table
+from repro.bench.runner import (
+    RunSpec,
+    measure_space_utilization,
+    run_workload,
+)
+
+OPS = ("insert", "query", "delete")
+
+
+def run(scale: Scale, seed: int = 42) -> ExperimentResult:
+    """Run the Figure 8 group-size sweep at ``scale``."""
+    latency_rows = []
+    util_rows = []
+    data: dict[int, dict] = {}
+    for group_size in scale.group_sizes:
+        spec = RunSpec.from_scale(
+            "group", "randomnum", 0.5, scale, seed=seed
+        )
+        spec = RunSpec(
+            **{**spec.__dict__, "group_size": group_size}
+        )
+        result = run_workload(spec)
+        latencies = {op: result.phase(op).avg_latency_ns for op in OPS}
+        util = measure_space_utilization(
+            "group",
+            "randomnum",
+            total_cells=scale.total_cells,
+            group_size=group_size,
+            seed=seed,
+        )
+        latency_rows.append((str(group_size), latencies))
+        util_rows.append((str(group_size), {"utilization": util}))
+        data[group_size] = {"latency": latencies, "utilization": util}
+    text = "\n".join(
+        [
+            format_table(
+                "Figure 8(a): group size vs request latency "
+                "(RandomNum, load factor 0.5)",
+                OPS,
+                latency_rows,
+                unit="simulated ns/request",
+            ),
+            "",
+            format_table(
+                "Figure 8(b): group size vs space utilization",
+                ("utilization",),
+                util_rows,
+                precision=3,
+            ),
+            format_ratio_note(
+                "paper shape: latency and utilization both grow with group "
+                "size; >0.8 utilization at the default size"
+            ),
+        ]
+    )
+    return ExperimentResult(name="fig8", paper_ref="Figure 8", data=data, text=text)

@@ -1,0 +1,41 @@
+"""Shared measurement matrix for Figures 5 and 6.
+
+Both figures come from the same runs — Figure 5 reports the simulated
+request latency and Figure 6 the L3 miss counts — so the matrix of
+(trace × load factor × scheme) workload runs is collected once and
+memoised per (scale, seed).
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import SCHEMES, Scale
+from repro.bench.runner import RunResult, RunSpec, run_workload
+
+#: the paper's evaluation grid
+TRACES = ("randomnum", "bagofwords", "fingerprint")
+LOAD_FACTORS = (0.5, 0.75)
+OPS = ("insert", "query", "delete")
+
+_cache: dict[tuple[str, int], dict[tuple[str, float, str], RunResult]] = {}
+
+
+def collect_matrix(
+    scale: Scale, seed: int = 42
+) -> dict[tuple[str, float, str], RunResult]:
+    """Run (or fetch memoised) workloads for every grid cell."""
+    key = (scale.name, seed)
+    if key in _cache:
+        return _cache[key]
+    matrix: dict[tuple[str, float, str], RunResult] = {}
+    for trace in TRACES:
+        for lf in LOAD_FACTORS:
+            for scheme in SCHEMES:
+                spec = RunSpec.from_scale(scheme, trace, lf, scale, seed=seed)
+                matrix[(trace, lf, scheme)] = run_workload(spec)
+    _cache[key] = matrix
+    return matrix
+
+
+def clear_cache() -> None:
+    """Drop memoised runs (tests use this to force fresh measurements)."""
+    _cache.clear()

@@ -1,0 +1,81 @@
+"""Negative queries — the case the paper's protocol never measures.
+
+The paper's query phase looks up items that exist. Cache workloads are
+dominated by *misses* (that is why they are caches), and absent-key
+lookups stress exactly the structures the paper's schemes differ on:
+
+- linear probing stops at the first empty cell (short at lf 0.5);
+- group hashing must scan the colliding key's **entire level-2 group**
+  before declaring absence;
+- PFHT must scan both buckets **and the whole stash**;
+- path hashing visits every reserved level.
+
+This experiment fills to a load factor and then queries keys drawn from
+the same distribution but never inserted, reporting simulated latency
+and misses per negative lookup — an honest cost the paper's evaluation
+design hides, and a caveat EXPERIMENTS.md states explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import Scale, build_table, make_trace
+from repro.bench.experiments import ExperimentResult
+from repro.bench.report import format_ratio_note, format_table
+from repro.bench.runner import fill_to_load_factor
+
+SCHEMES = ("linear", "pfht", "path", "group", "level")
+LOAD_FACTORS = (0.5, 0.75)
+
+
+def run(scale: Scale, seed: int = 42) -> ExperimentResult:
+    """Run the negative-query extension experiment at ``scale``."""
+    data: dict[str, dict[float, dict[str, float]]] = {}
+    rows_by_lf: dict[float, list] = {lf: [] for lf in LOAD_FACTORS}
+    for scheme in SCHEMES:
+        data[scheme] = {}
+        for lf in LOAD_FACTORS:
+            trace = make_trace("randomnum", seed=seed)
+            built = build_table(
+                scheme,
+                scale.total_cells,
+                trace.spec,
+                group_size=scale.group_size,
+                seed=seed,
+                cache_ratio=scale.cache_ratio,
+            )
+            stream = trace.unique_items()
+            fill_to_load_factor(built, stream, lf)
+            # absent keys: same distribution, never inserted
+            absent = [key for key, _ in (next(stream) for _ in range(scale.measure_ops))]
+            region, table = built.region, built.table
+            before = region.stats.snapshot()
+            for key in absent:
+                assert table.query(key) is None
+            delta = region.stats.delta(before)
+            values = {
+                "latency_ns": delta.sim_time_ns / len(absent),
+                "misses": delta.cache_misses / len(absent),
+            }
+            data[scheme][lf] = values
+            rows_by_lf[lf].append((scheme, values))
+    sections = [
+        format_table(
+            f"Negative (absent-key) queries — RandomNum, load factor {lf}",
+            ("latency_ns", "misses"),
+            rows_by_lf[lf],
+            precision=2,
+        )
+        for lf in LOAD_FACTORS
+    ]
+    sections.append(
+        format_ratio_note(
+            "extension: the paper only queries present keys; absence "
+            "proofs cost each scheme its full probe structure"
+        )
+    )
+    return ExperimentResult(
+        name="negative",
+        paper_ref="extension (negative queries)",
+        data=data,
+        text="\n\n".join(sections),
+    )

@@ -1,0 +1,64 @@
+"""Write traffic — the "write-efficient" in the paper's title, measured.
+
+The paper motivates everything with NVM's asymmetric write cost and
+bounded endurance (Section 2.1) but reports latency and misses only;
+this extension reports the write-path quantities directly:
+
+- NVM bytes written per insert/delete (medium traffic, the endurance
+  currency);
+- cacheline flushes per operation (the latency currency);
+- write amplification: NVM bytes written per byte of user payload.
+
+Expected shape: group hashing writes its cell + count line and nothing
+else (amplification ≈ a small constant); the ``-L`` variants roughly
+double everything (log entry + tail per cell write); linear's deletes
+amplify with cluster length.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import SCHEMES, Scale
+from repro.bench.experiments import ExperimentResult
+from repro.bench.experiments.latency_matrix import collect_matrix
+from repro.bench.report import format_ratio_note, format_table
+
+COLUMNS = ("ins_bytes", "ins_flushes", "del_bytes", "del_flushes", "amplification")
+
+
+def run(scale: Scale, seed: int = 42) -> ExperimentResult:
+    """Run the write-traffic extension experiment at ``scale``."""
+    matrix = collect_matrix(scale, seed)
+    rows = []
+    data = {}
+    for scheme in SCHEMES:
+        result = matrix[("randomnum", 0.5, scheme)]
+        item_bytes = 16  # RandomNum payload
+        values = {
+            "ins_bytes": result.insert.nvm_bytes_written / result.insert.ops,
+            "ins_flushes": result.insert.avg_flushes,
+            "del_bytes": result.delete.nvm_bytes_written / result.delete.ops,
+            "del_flushes": result.delete.avg_flushes,
+            "amplification": (
+                result.insert.nvm_bytes_written / result.insert.ops / item_bytes
+            ),
+        }
+        rows.append((scheme, values))
+        data[scheme] = values
+    text = "\n".join(
+        [
+            format_table(
+                "Write traffic per operation — RandomNum, load factor 0.5 "
+                "(NVM bytes / clflush counts)",
+                COLUMNS,
+                rows,
+                precision=1,
+            ),
+            format_ratio_note(
+                "the title claim: group hashing's writes are the cell + the "
+                "count line; logging roughly doubles bytes AND flushes"
+            ),
+        ]
+    )
+    return ExperimentResult(
+        name="writes", paper_ref="Sections 1/2.1 (write efficiency)", data=data, text=text
+    )

@@ -1,0 +1,44 @@
+"""Plain-text report formatting for the experiment drivers.
+
+Every experiment returns rows of (label, {column: value}); these helpers
+render them as aligned tables that mirror the paper's figures — one
+table per figure panel, one row per scheme/series point.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[tuple[str, Mapping[str, float]]],
+    *,
+    unit: str = "",
+    precision: int = 1,
+) -> str:
+    """Render one aligned table with a title line."""
+    label_width = max([len(label) for label, _ in rows] + [len("scheme")])
+    col_width = max([len(c) for c in columns] + [10])
+    lines = [title + (f"  [{unit}]" if unit else "")]
+    header = " " * (label_width + 2) + "".join(f"{c:>{col_width + 2}}" for c in columns)
+    lines.append(header)
+    for label, values in rows:
+        cells = "".join(
+            f"{values.get(c, float('nan')):>{col_width + 2}.{precision}f}"
+            for c in columns
+        )
+        lines.append(f"{label:<{label_width + 2}}" + cells)
+    return "\n".join(lines)
+
+
+def format_ratio_note(note: str) -> str:
+    """Footnote line under a table (e.g. the paper's headline ratios)."""
+    return f"  -> {note}"
+
+
+def hrule(title: str) -> str:
+    """Section separator used between experiments in `bench all`."""
+    bar = "=" * max(8, 72 - len(title) - 2)
+    return f"\n== {title} {bar}"

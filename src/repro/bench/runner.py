@@ -1,0 +1,265 @@
+"""Workload runner: the paper's measurement protocol (Section 4.2).
+
+"In all the experiments, we first insert items into the hash table until
+the load factor reaches the predefined value. After that, we insert 1000
+items into the hash table, then query and delete 1000 items from the
+hash table. At last, we calculate the average latency of requesting an
+item."
+
+:func:`run_workload` reproduces exactly that: fill → measured inserts →
+measured queries (of the items just inserted) → measured deletes (same
+items), each phase metered by snapshotting the region's
+:class:`~repro.nvm.stats.MemStats`.
+
+:func:`measure_space_utilization` (Figure 7) inserts until the first
+failure; :func:`measure_recovery` (Table 3) fills, crashes, and times
+Algorithm 4 on the simulator clock.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.bench.config import BuiltTable, Scale, build_table, make_trace
+from repro.nvm import MemStats
+from repro.tables import ItemSpec, PersistentHashTable
+from repro.traces import Trace
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (scheme, trace, load factor) measurement cell of Figures 5/6."""
+
+    scheme: str
+    trace: str = "randomnum"
+    load_factor: float = 0.5
+    total_cells: int = 1 << 14
+    group_size: int = 128
+    measure_ops: int = 500
+    seed: int = 42
+    tech: str = "paper-nvm"
+    cache_ratio: float = 8.0
+    flush_invalidates: bool = True
+
+    @classmethod
+    def from_scale(cls, scheme: str, trace: str, load_factor: float, scale: Scale, **kw) -> "RunSpec":
+        return cls(
+            scheme=scheme,
+            trace=trace,
+            load_factor=load_factor,
+            total_cells=scale.total_cells,
+            group_size=scale.group_size,
+            measure_ops=scale.measure_ops,
+            cache_ratio=scale.cache_ratio,
+            **kw,
+        )
+
+
+@dataclass
+class OpMetrics:
+    """Per-phase counters reduced to the paper's reported quantities."""
+
+    ops: int = 0
+    sim_ns: float = 0.0
+    cache_misses: int = 0
+    flushes: int = 0
+    fences: int = 0
+    nvm_bytes_written: int = 0
+
+    @classmethod
+    def from_delta(cls, ops: int, delta: MemStats) -> "OpMetrics":
+        return cls(
+            ops=ops,
+            sim_ns=delta.sim_time_ns,
+            cache_misses=delta.cache_misses,
+            flushes=delta.flushes,
+            fences=delta.fences,
+            nvm_bytes_written=delta.nvm_bytes_written,
+        )
+
+    @property
+    def avg_latency_ns(self) -> float:
+        """Average request latency — the y-axis of Figures 2a, 5, 8a."""
+        return self.sim_ns / self.ops if self.ops else 0.0
+
+    @property
+    def avg_misses(self) -> float:
+        """Average L3 misses per request — the y-axis of Figures 2b, 6."""
+        return self.cache_misses / self.ops if self.ops else 0.0
+
+    @property
+    def avg_flushes(self) -> float:
+        """Average clflush per request (diagnostic)."""
+        return self.flushes / self.ops if self.ops else 0.0
+
+
+@dataclass
+class RunResult:
+    """All measured phases of one workload run."""
+
+    spec: RunSpec
+    insert: OpMetrics
+    query: OpMetrics
+    delete: OpMetrics
+    fill_count: int = 0
+    capacity: int = 0
+    fill_failures: int = 0
+    extras: dict[str, float] = field(default_factory=dict)
+
+    def phase(self, name: str) -> OpMetrics:
+        """Metrics for one measured phase ("insert"/"query"/"delete")."""
+        return {"insert": self.insert, "query": self.query, "delete": self.delete}[name]
+
+
+def fill_to_load_factor(
+    built: BuiltTable,
+    stream: "Iterator[tuple[bytes, bytes]]",
+    load_factor: float,
+) -> tuple[list[tuple[bytes, bytes]], int]:
+    """Insert items from ``stream`` until ``count/capacity`` reaches the
+    target.
+
+    Returns the items actually resident and the number of failed insert
+    attempts (schemes can reject items well below capacity — that is the
+    Figure 7 story — so the fill keeps drawing fresh items)."""
+    table = built.table
+    target = int(load_factor * table.capacity)
+    resident: list[tuple[bytes, bytes]] = []
+    failures = 0
+    max_failures = 64 * max(target, 1)
+    while table.count < target:
+        key, value = next(stream)
+        if table.insert(key, value):
+            resident.append((key, value))
+        else:
+            failures += 1
+            if failures > max_failures:
+                raise RuntimeError(
+                    f"cannot fill {built.scheme} to load factor {load_factor}: "
+                    f"stuck at {table.load_factor:.3f} after {failures} failures"
+                )
+    return resident, failures
+
+
+def run_workload(spec: RunSpec) -> RunResult:
+    """Execute the paper's measurement protocol for one spec."""
+    trace = make_trace(spec.trace, seed=spec.seed)
+    built = build_table(
+        spec.scheme,
+        spec.total_cells,
+        trace.spec,
+        group_size=spec.group_size,
+        seed=spec.seed,
+        cache_ratio=spec.cache_ratio,
+        tech=spec.tech,
+        flush_invalidates=spec.flush_invalidates,
+    )
+    table, region = built.table, built.region
+
+    stream = trace.unique_items()
+    resident, failures = fill_to_load_factor(built, stream, spec.load_factor)
+
+    # fresh keys for the measured inserts: continue the same unique stream
+    fresh = [next(stream) for _ in range(spec.measure_ops)]
+
+    before = region.stats.snapshot()
+    inserted = []
+    for key, value in fresh:
+        if table.insert(key, value):
+            inserted.append((key, value))
+    insert_metrics = OpMetrics.from_delta(
+        max(1, len(inserted)), region.stats.delta(before)
+    )
+
+    # "query and delete 1000 items from the hash table": sample resident
+    # items uniformly — a fixed-choice sample (e.g. only the items just
+    # inserted) would bias toward the deepest cells of every scheme's
+    # collision structure
+    rng = random.Random(spec.seed ^ 0xC0FFEE)
+    pool = resident + inserted
+    targets = rng.sample(pool, min(spec.measure_ops, len(pool)))
+
+    before = region.stats.snapshot()
+    for key, value in targets:
+        found = table.query(key)
+        assert found == value, f"{spec.scheme}: query returned wrong value"
+    query_metrics = OpMetrics.from_delta(
+        max(1, len(targets)), region.stats.delta(before)
+    )
+
+    before = region.stats.snapshot()
+    for key, _ in targets:
+        deleted = table.delete(key)
+        assert deleted, f"{spec.scheme}: delete lost an item"
+    delete_metrics = OpMetrics.from_delta(
+        max(1, len(targets)), region.stats.delta(before)
+    )
+
+    return RunResult(
+        spec=spec,
+        insert=insert_metrics,
+        query=query_metrics,
+        delete=delete_metrics,
+        fill_count=len(resident),
+        capacity=table.capacity,
+        fill_failures=failures,
+    )
+
+
+def measure_space_utilization(
+    scheme: str,
+    trace_name: str,
+    *,
+    total_cells: int,
+    group_size: int = 256,
+    seed: int = 42,
+) -> float:
+    """Figure 7: the load factor at which an insert first fails."""
+    trace = make_trace(trace_name, seed=seed)
+    built = build_table(
+        scheme, total_cells, trace.spec, group_size=group_size, seed=seed
+    )
+    table = built.table
+    for key, value in trace.unique_items():
+        if not table.insert(key, value):
+            return table.load_factor
+    raise RuntimeError("trace exhausted before the table filled")
+
+
+def measure_recovery(
+    *,
+    total_cells: int,
+    group_size: int = 256,
+    load_factor: float = 0.5,
+    trace_name: str = "randomnum",
+    seed: int = 42,
+) -> dict[str, float]:
+    """Table 3: fill to ``load_factor``, crash, time Algorithm 4.
+
+    Returns simulated milliseconds for execution (fill) and recovery,
+    plus the table's data footprint in bytes, mirroring the paper's
+    columns."""
+    trace = make_trace(trace_name, seed=seed)
+    built = build_table("group", total_cells, trace.spec, group_size=group_size, seed=seed)
+    table, region = built.table, built.region
+
+    before = region.stats.snapshot()
+    fill_to_load_factor(built, trace.unique_items(), load_factor)
+    execution_ns = region.stats.delta(before).sim_time_ns
+
+    region.crash()
+    table.reattach()
+
+    before = region.stats.snapshot()
+    table.recover()
+    recovery_ns = region.stats.delta(before).sim_time_ns
+
+    table_bytes = table.codec.array_bytes(table.capacity)
+    return {
+        "table_bytes": float(table_bytes),
+        "recovery_ms": recovery_ns / 1e6,
+        "execution_ms": execution_ns / 1e6,
+        "percentage": 100.0 * recovery_ns / execution_ns if execution_ns else 0.0,
+    }

@@ -1,0 +1,31 @@
+"""Group hashing — the paper's contribution.
+
+- :class:`~repro.core.group_hash.GroupHashTable` implements Algorithms
+  1–3 with the exact persist ordering of the paper (8-byte failure-atomic
+  bitmap commit, no logging, no copy-on-write);
+- :mod:`~repro.core.recovery` implements Algorithm 4 (full-table scan,
+  reset of unoccupied cells, count rebuild);
+- :class:`~repro.core.layout.GroupLayout` is the physical storage layout
+  of Figure 4 (global info block, two equal levels, group-aligned
+  contiguous cell runs).
+"""
+
+from repro.core.bulk import bulk_load
+from repro.core.group_hash import GroupHashTable
+from repro.core.layout import GroupLayout
+from repro.core.recovery import recover_group_table
+from repro.core.resize import (
+    ExpansionError,
+    expand_group_table,
+    insert_with_expansion,
+)
+
+__all__ = [
+    "ExpansionError",
+    "GroupHashTable",
+    "GroupLayout",
+    "bulk_load",
+    "expand_group_table",
+    "insert_with_expansion",
+    "recover_group_table",
+]

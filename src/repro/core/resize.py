@@ -1,0 +1,102 @@
+"""Table expansion — the paper's "capacity needs to be expanded" signal.
+
+Algorithm 1 returns FALSE when a key's home cell and its entire matched
+level-2 group are full; the paper says this "means that the capacity of
+the hash table needs to be expanded" but gives no expansion procedure.
+This extension supplies the obvious consistent one:
+
+1. build a fresh, larger group hash table (new level arrays, same
+   region or a new one);
+2. re-insert every committed item — each re-insert uses the normal
+   Algorithm 1 commit, so the new table is consistent at every point;
+3. only after the last item is committed in the new table, flip the
+   caller's reference.
+
+A crash mid-expansion is safe by construction: the old table is never
+mutated, so recovery simply resumes from it and the half-built new
+table is garbage (a production allocator would reclaim it; the bump
+allocator here leaks it, which tests assert is bounded by one failed
+expansion).
+
+``insert_with_expansion`` packages the retry loop the paper implies:
+insert, and on a FALSE return expand by ``growth_factor`` and retry.
+"""
+
+from __future__ import annotations
+
+from repro.core.group_hash import GroupHashTable
+from repro.nvm.memory import NVMRegion
+
+
+class ExpansionError(RuntimeError):
+    """Expansion could not complete (e.g. the region is out of space)."""
+
+
+def expand_group_table(
+    table: GroupHashTable,
+    *,
+    region: NVMRegion | None = None,
+    growth_factor: int = 2,
+    group_size: int | None = None,
+) -> GroupHashTable:
+    """Return a new table ``growth_factor``× larger holding every item
+    of ``table``.
+
+    The new table lives in ``region`` (default: the same region, after
+    the old table's allocations). The old table remains valid and
+    untouched — the caller owns the switch-over.
+    """
+    if growth_factor < 2:
+        raise ValueError("growth_factor must be at least 2")
+    target_region = region or table.region
+    new_cells = table.capacity * growth_factor
+    group_size = group_size or table.group_size
+    try:
+        new_table = GroupHashTable(
+            target_region,
+            new_cells,
+            table.spec,
+            group_size=group_size,
+            n_hash_functions=table.n_hash_functions,
+            seed=table.family.seed,
+        )
+    except MemoryError as exc:
+        raise ExpansionError(
+            f"region cannot hold a {new_cells}-cell table: {exc}"
+        ) from exc
+    for key, value in table.items():
+        if not new_table.insert(key, value):
+            # astronomically unlikely (same keys, double the space), but
+            # never leave a half-populated table as the apparent result
+            raise ExpansionError(
+                f"re-insert failed at load factor {new_table.load_factor:.3f}"
+            )
+    return new_table
+
+
+def insert_with_expansion(
+    table: GroupHashTable,
+    key: bytes,
+    value: bytes,
+    *,
+    region_factory=None,
+    growth_factor: int = 2,
+    max_expansions: int = 4,
+) -> tuple[GroupHashTable, bool]:
+    """Insert, expanding on failure; returns ``(table, inserted)``.
+
+    ``region_factory(n_cells, spec) -> NVMRegion`` supplies a region for
+    each expansion; by default the current region is reused (fine when
+    it was sized with headroom)."""
+    for _ in range(max_expansions + 1):
+        if table.insert(key, value):
+            return table, True
+        region = (
+            region_factory(table.capacity * growth_factor, table.spec)
+            if region_factory is not None
+            else None
+        )
+        table = expand_group_table(
+            table, region=region, growth_factor=growth_factor
+        )
+    return table, False

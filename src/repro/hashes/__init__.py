@@ -1,0 +1,29 @@
+"""Hash function families for the hashing schemes.
+
+All schemes in the paper hash fixed-width byte-string keys to table
+indices. This package provides several independent 64-bit mixers plus a
+:class:`~repro.hashes.functions.HashFamily` abstraction that hands out
+seeded, pairwise-independent functions — two-function schemes (PFHT,
+path hashing) draw ``h1``/``h2`` from the same family with different
+seeds.
+"""
+
+from repro.hashes.functions import (
+    HashFamily,
+    fibonacci_hash,
+    fnv1a64,
+    multiply_shift,
+    splitmix64,
+    tabulation_hash,
+    TabulationHasher,
+)
+
+__all__ = [
+    "HashFamily",
+    "TabulationHasher",
+    "fibonacci_hash",
+    "fnv1a64",
+    "multiply_shift",
+    "splitmix64",
+    "tabulation_hash",
+]

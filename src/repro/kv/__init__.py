@@ -1,0 +1,23 @@
+"""A crash-consistent key-value store on top of group hashing.
+
+The paper motivates NVM hashing with in-memory key-value stores
+(memcached, MemC3), but a hash table with fixed-size cells only indexes
+fixed-size items. This layer supplies the missing substrate:
+
+- :class:`~repro.kv.slab.SlabAllocator` — a persistent slab allocator
+  with power-of-two size classes and crash-consistent free lists, for
+  variable-length values;
+- :class:`~repro.kv.store.KVStore` — put/get/delete with arbitrary-size
+  values: the value is written and persisted out-of-place in a slab,
+  then published by a single group-hashing insert whose fixed-size cell
+  value is the (address, length) locator — so the store inherits group
+  hashing's 8-byte-atomic commit and needs no log;
+- recovery: after a crash, the index recovers via Algorithm 4 and the
+  allocator rebuilds its free lists from the index's live locators
+  (:meth:`~repro.kv.store.KVStore.recover`).
+"""
+
+from repro.kv.slab import SlabAllocator, SlabFullError
+from repro.kv.store import KVStore
+
+__all__ = ["KVStore", "SlabAllocator", "SlabFullError"]

@@ -1,0 +1,178 @@
+"""KVStore: arbitrary keys and variable-length values, committed by
+group hashing's 8-byte-atomic bitmap.
+
+Layout of one stored record in a slab chunk::
+
+    +-----------+-------------------+---------------------------+
+    | key_len u16 |     key bytes     |        value bytes        |
+    +-----------+-------------------+---------------------------+
+
+The index is a :class:`~repro.core.GroupHashTable` whose cell key is the
+16-byte MD5 digest of the user key (so user keys can be any length) and
+whose cell value is an 8-byte *locator* packing (chunk address, record
+length). A ``put`` is therefore:
+
+1. allocate a chunk (volatile bookkeeping, no NVM cost);
+2. write the record, ``persist`` it;
+3. publish with one index insert — group hashing's commit makes the
+   record reachable atomically.
+
+A crash before step 3 leaks an unreachable chunk, which
+:meth:`KVStore.recover` reclaims by rebuilding the allocator from the
+recovered index. Overwrites are delete-then-insert: a crash inside the
+window can lose the key entirely (documented non-atomic overwrite — the
+paper's scheme has no value update either) but can never expose a torn
+value, because records are immutable once published.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core import GroupHashTable
+from repro.kv.slab import SlabAllocator
+from repro.nvm.memory import NVMRegion
+from repro.tables.cell import ItemSpec
+
+_DIGEST_SIZE = 16
+#: locator packing: 40-bit chunk address | 24-bit record length
+_ADDR_BITS = 40
+_LEN_MASK = (1 << (64 - _ADDR_BITS)) - 1
+
+
+def _pack_locator(addr: int, length: int) -> bytes:
+    if addr >= 1 << _ADDR_BITS:
+        raise ValueError("region too large for 40-bit locators")
+    if length > _LEN_MASK:
+        raise ValueError("record too long for 24-bit locator length")
+    return ((addr << (64 - _ADDR_BITS)) | length).to_bytes(8, "little")
+
+
+def _unpack_locator(raw: bytes) -> tuple[int, int]:
+    word = int.from_bytes(raw, "little")
+    return word >> (64 - _ADDR_BITS), word & _LEN_MASK
+
+
+class KVStore:
+    """Crash-consistent variable-size KV store on simulated NVM."""
+
+    def __init__(
+        self,
+        region: NVMRegion,
+        *,
+        n_index_cells: int = 1 << 12,
+        group_size: int = 128,
+        max_value: int = 4096,
+        slab_bytes_per_class: int = 256 * 1024,
+        seed: int = 0x5EED,
+    ) -> None:
+        self.region = region
+        self.index = GroupHashTable(
+            region,
+            n_index_cells,
+            ItemSpec(key_size=_DIGEST_SIZE, value_size=8),
+            group_size=group_size,
+            seed=seed,
+        )
+        self.slab = SlabAllocator(
+            region,
+            max_chunk=max(64, 1 << (max_value + 32).bit_length()),
+            bytes_per_class=slab_bytes_per_class,
+        )
+        self.max_value = max_value
+
+    @staticmethod
+    def _digest(key: bytes) -> bytes:
+        return hashlib.md5(key).digest()
+
+    # ------------------------------------------------------------------
+
+    def _read_record(self, addr: int, length: int) -> tuple[bytes, bytes]:
+        raw = self.region.read(addr, length)
+        key_len = int.from_bytes(raw[:2], "little")
+        return raw[2 : 2 + key_len], raw[2 + key_len :]
+
+    def _locate(self, key: bytes) -> tuple[bytes, int, int] | None:
+        """(digest, addr, length) for a present key, else None."""
+        digest = self._digest(key)
+        raw = self.index.query(digest)
+        if raw is None:
+            return None
+        addr, length = _unpack_locator(raw)
+        stored_key, _ = self._read_record(addr, length)
+        if stored_key != key:  # 2^-128 digest collision: treat as absent
+            return None
+        return digest, addr, length
+
+    # ------------------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> bool:
+        """Insert or overwrite; returns False when the index is full."""
+        if not key:
+            raise ValueError("key must be non-empty")
+        if len(value) > self.max_value:
+            raise ValueError(f"value exceeds max_value={self.max_value}")
+        digest = self._digest(key)
+        record = len(key).to_bytes(2, "little") + key + value
+        addr = self.slab.alloc(len(record))
+        self.region.write(addr, record)
+        self.region.persist(addr, len(record))
+
+        old = self._locate(key)
+        if old is not None:
+            _, old_addr, old_length = old
+            self.index.delete(digest)
+        if not self.index.insert(digest, _pack_locator(addr, len(record))):
+            self.slab.free(addr, len(record))
+            return False
+        if old is not None:
+            # free the superseded record only after the new one is
+            # published; a crash earlier merely leaks it until recover()
+            self.slab.free(old_addr, old_length)
+        return True
+
+    def get(self, key: bytes) -> bytes | None:
+        """Return the value for ``key``, or None."""
+        found = self._locate(key)
+        if found is None:
+            return None
+        _, addr, length = found
+        _, value = self._read_record(addr, length)
+        return value
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        found = self._locate(key)
+        if found is None:
+            return False
+        digest, addr, length = found
+        self.index.delete(digest)
+        self.slab.free(addr, length)
+        return True
+
+    def __contains__(self, key: bytes) -> bool:
+        return self._locate(key) is not None
+
+    def __len__(self) -> int:
+        return self.index.count
+
+    # ------------------------------------------------------------------
+
+    def items(self):
+        """Yield all (key, value) pairs (cost-free inventory)."""
+        for _, raw in self.index.items():
+            addr, length = _unpack_locator(raw)
+            data = self.region.peek_volatile(addr, length)
+            key_len = int.from_bytes(data[:2], "little")
+            yield data[2 : 2 + key_len], data[2 + key_len :]
+
+    def recover(self) -> None:
+        """Post-crash recovery: repair the index (Algorithm 4), then
+        rebuild the slab allocator from the surviving locators."""
+        self.index.reattach()
+        self.index.recover()
+        live = []
+        for _, raw in self.index.items():
+            addr, length = _unpack_locator(raw)
+            live.append((addr, length))
+        self.slab.rebuild(live)

@@ -1,0 +1,73 @@
+"""Simulated non-volatile memory substrate.
+
+This package is the reproduction's answer to the hardware gate: Python
+cannot issue ``clflush``/``mfence`` or observe cacheline residency, so we
+simulate the part of the machine the paper's evaluation depends on:
+
+- :class:`~repro.nvm.memory.NVMRegion` — a byte-addressable region with a
+  *persistent image* (what survives a crash) and a *volatile view* (what
+  the program reads), mediated by a CPU cache simulator.
+- :class:`~repro.nvm.cache.CacheSim` — a set-associative, LRU, 64-byte-line
+  cache with x86 ``clflush`` invalidation semantics and full hit/miss
+  accounting (the paper's PAPI L3-miss counters).
+- :class:`~repro.nvm.latency.LatencyModel` — a discrete event-cost model
+  (Table 1 technology presets; the paper's +300 ns post-flush NVM write
+  penalty). All latencies reported by this package are **simulated
+  nanoseconds**, never wall-clock.
+- :mod:`~repro.nvm.crash` — crash schedules that persist an arbitrary
+  subset of unflushed 8-byte words, strictly more adversarial than real
+  store reordering.
+"""
+
+from repro.nvm.cache import CacheConfig, CacheSim
+from repro.nvm.crash import (
+    CrashSchedule,
+    drop_all_schedule,
+    persist_all_schedule,
+    random_schedule,
+)
+from repro.nvm.latency import (
+    DRAM,
+    PCM,
+    RERAM,
+    STT_MRAM,
+    LatencyModel,
+    PAPER_NVM,
+    TECHNOLOGY_PRESETS,
+)
+from repro.nvm.memory import (
+    CACHELINE,
+    CrashReport,
+    NVMRegion,
+    SimConfig,
+    SimulatedPowerFailure,
+)
+from repro.nvm.stats import MemStats
+from repro.nvm.wear import WearMap, WearReport
+from repro.nvm.wearlevel import StartGapMapper, WearLevelledRegion
+
+__all__ = [
+    "CACHELINE",
+    "CacheConfig",
+    "CacheSim",
+    "CrashReport",
+    "CrashSchedule",
+    "SimulatedPowerFailure",
+    "DRAM",
+    "LatencyModel",
+    "MemStats",
+    "NVMRegion",
+    "PAPER_NVM",
+    "PCM",
+    "RERAM",
+    "STT_MRAM",
+    "SimConfig",
+    "StartGapMapper",
+    "TECHNOLOGY_PRESETS",
+    "WearLevelledRegion",
+    "WearMap",
+    "WearReport",
+    "drop_all_schedule",
+    "persist_all_schedule",
+    "random_schedule",
+]

@@ -1,0 +1,116 @@
+"""Crash schedules: what survives a power failure.
+
+At crash time, every cacheline that was *flushed or evicted* is already
+in the persistent image. For lines still dirty in the cache, real
+hardware may have written back none, some, or all of them, in any order,
+and within the failure-atomicity unit (8 bytes, per the paper's Section
+2.2) each aligned word either fully persists or fully does not.
+
+A :class:`CrashSchedule` decides, per dirty line, which of its modified
+8-byte words reached NVM. ``random_schedule`` draws an arbitrary subset —
+strictly more adversarial than any real reordering — which is what the
+hypothesis-based consistency fuzz tests use: recovery must restore a
+consistent state under *every* schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence
+
+
+class CrashSchedule(Protocol):
+    """Strategy deciding which dirty words persist at crash time."""
+
+    def words_persisted(
+        self, line_addr: int, dirty_word_offsets: Sequence[int]
+    ) -> Sequence[int]:
+        """Return the subset of ``dirty_word_offsets`` that reach NVM.
+
+        ``line_addr`` is the byte address of the line start;
+        ``dirty_word_offsets`` are byte offsets (within the region, not
+        the line) of 8-byte-aligned words whose cached value differs from
+        the persistent image.
+        """
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class _PersistAll:
+    def words_persisted(
+        self, line_addr: int, dirty_word_offsets: Sequence[int]
+    ) -> Sequence[int]:
+        return dirty_word_offsets
+
+
+@dataclass(frozen=True)
+class _DropAll:
+    def words_persisted(
+        self, line_addr: int, dirty_word_offsets: Sequence[int]
+    ) -> Sequence[int]:
+        return ()
+
+
+@dataclass
+class _RandomSubset:
+    rng: random.Random
+    persist_probability: float = 0.5
+
+    def words_persisted(
+        self, line_addr: int, dirty_word_offsets: Sequence[int]
+    ) -> Sequence[int]:
+        return [
+            off
+            for off in dirty_word_offsets
+            if self.rng.random() < self.persist_probability
+        ]
+
+
+@dataclass
+class FunctionSchedule:
+    """Adapt a plain callable ``(line_addr, offsets) -> offsets`` to the
+    :class:`CrashSchedule` protocol. Used by tests that want full control
+    over exactly which words tear."""
+
+    fn: Callable[[int, Sequence[int]], Sequence[int]]
+
+    def words_persisted(
+        self, line_addr: int, dirty_word_offsets: Sequence[int]
+    ) -> Sequence[int]:
+        """Delegate the decision to the wrapped callable."""
+        return self.fn(line_addr, dirty_word_offsets)
+
+
+@dataclass
+class RecordingSchedule:
+    """Wrap another schedule and record its decisions (for assertions)."""
+
+    inner: CrashSchedule
+    decisions: list[tuple[int, tuple[int, ...], tuple[int, ...]]] = field(
+        default_factory=list
+    )
+
+    def words_persisted(
+        self, line_addr: int, dirty_word_offsets: Sequence[int]
+    ) -> Sequence[int]:
+        """Record and forward the inner schedule's decision."""
+        chosen = tuple(self.inner.words_persisted(line_addr, dirty_word_offsets))
+        self.decisions.append((line_addr, tuple(dirty_word_offsets), chosen))
+        return chosen
+
+
+def persist_all_schedule() -> CrashSchedule:
+    """Every dirty word reaches NVM (the luckiest possible crash)."""
+    return _PersistAll()
+
+
+def drop_all_schedule() -> CrashSchedule:
+    """No unflushed write reaches NVM (pure power-cut semantics)."""
+    return _DropAll()
+
+
+def random_schedule(seed: int, persist_probability: float = 0.5) -> CrashSchedule:
+    """Each dirty 8-byte word independently persists with the given
+    probability — the fuzzing workhorse."""
+    return _RandomSubset(random.Random(seed), persist_probability)

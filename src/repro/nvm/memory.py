@@ -1,0 +1,410 @@
+"""Byte-addressable simulated NVM region.
+
+:class:`NVMRegion` is the substrate every hash table in this repository
+runs on. It keeps two images of the memory:
+
+- the **volatile view** — what loads return; includes writes still
+  sitting in the simulated CPU cache;
+- the **persistent image** — what survives :meth:`NVMRegion.crash`;
+  updated only when a dirty line is ``clflush``-ed or evicted.
+
+Data paths mirror x86 + NVDIMM semantics: stores dirty a cacheline,
+``clflush`` writes the line to the medium *and invalidates it* (charging
+the paper's +300 ns emulation penalty), ``mfence`` orders — in this
+sequential simulator, ordering is already program order, so the fence
+only charges its cost. Crash semantics are delegated to a
+:class:`~repro.nvm.crash.CrashSchedule` at 8-byte-word granularity.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.nvm.cache import CacheConfig, CacheSim
+from repro.nvm.crash import CrashSchedule, drop_all_schedule
+from repro.nvm.latency import PAPER_NVM, LatencyModel
+from repro.nvm.stats import MemStats
+from repro.nvm.wear import WearMap
+
+#: x86 cacheline size; also the alignment unit for table layouts.
+CACHELINE = 64
+
+#: failure-atomicity unit of NVM (paper Section 2.2)
+ATOMIC_UNIT = 8
+
+_U64 = struct.Struct("<Q")
+
+
+class SimulatedPowerFailure(RuntimeError):
+    """Raised mid-operation when an armed crash point trips.
+
+    Crash-consistency tests arm a countdown with
+    :meth:`NVMRegion.arm_crash`, run an operation, catch this exception,
+    and then call :meth:`NVMRegion.crash` to materialise the power
+    failure with a chosen schedule.
+    """
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Bundle of latency model + cache geometry for one region."""
+
+    latency: LatencyModel = PAPER_NVM
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    #: ``clflush`` (True) vs ``clwb`` (False) semantics for persist;
+    #: the paper's hardware has only ``clflush``, which invalidates.
+    flush_invalidates: bool = True
+    #: count medium writes per line (endurance analysis, Section 2.1);
+    #: off by default — it adds a counter bump to every writeback
+    track_wear: bool = False
+
+
+@dataclass
+class CrashReport:
+    """What a simulated crash did to in-flight (unflushed) data."""
+
+    #: dirty lines resident in the cache at crash time
+    dirty_lines: int = 0
+    #: 8-byte words whose new value reached the persistent image
+    words_persisted: int = 0
+    #: 8-byte words whose new value was lost
+    words_dropped: int = 0
+
+    @property
+    def torn(self) -> bool:
+        """Whether the crash both persisted and dropped data (a "torn"
+        state, the hardest case for recovery)."""
+        return self.words_persisted > 0 and self.words_dropped > 0
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One named extent handed out by :meth:`NVMRegion.alloc`."""
+
+    label: str
+    addr: int
+    size: int
+
+
+class NVMRegion:
+    """A simulated persistent memory region with a cache in front.
+
+    All addresses are offsets into the region. Use :meth:`alloc` to carve
+    named extents (tables allocate their levels and metadata blocks this
+    way) and the ``read``/``write``/``persist`` family for data access.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        config: SimConfig | None = None,
+        *,
+        name: str = "nvm",
+    ) -> None:
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        self.name = name
+        self.size = size
+        self.config = config or SimConfig()
+        self._latency = self.config.latency
+        self._persistent = bytearray(size)
+        self._volatile = bytearray(size)
+        self.cache = CacheSim(self.config.cache)
+        self.stats = MemStats()
+        self._line = self.config.cache.line_size
+        self._alloc_cursor = 0
+        self.allocations: list[Allocation] = []
+        self._crash_countdown: int | None = None
+        self.wear: WearMap | None = (
+            WearMap(size, self._line) if self.config.track_wear else None
+        )
+        #: optional observer called as ``hook(kind, addr, size)`` for
+        #: "write" / "flush" / "fence" events, in program order. Tests
+        #: use it to assert persist *ordering* (e.g. Algorithm 1 flushes
+        #: the key-value bytes before the bitmap store issues); it is
+        #: also the extension point for external trace collection.
+        self.event_hook = None
+        # sequential-stream prefetcher state: the last line touched; a
+        # miss on line N+1 right after touching line N is treated as
+        # prefetch-covered (see LatencyModel.prefetch_hit_ns)
+        self._prev_line = -(1 << 30)
+
+    # ------------------------------------------------------------------
+    # allocation
+
+    def alloc(self, nbytes: int, *, align: int = ATOMIC_UNIT, label: str = "") -> int:
+        """Bump-allocate ``nbytes`` with the given alignment.
+
+        This is deliberately a linear allocator: the paper's structures
+        are all allocated once at table-creation time, and a linear
+        allocator keeps each structure contiguous — which is the property
+        group sharing exploits.
+        """
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if align <= 0 or align & (align - 1):
+            raise ValueError(f"alignment must be a power of two, got {align}")
+        addr = (self._alloc_cursor + align - 1) & ~(align - 1)
+        if addr + nbytes > self.size:
+            raise MemoryError(
+                f"region '{self.name}' exhausted: need {nbytes} bytes at "
+                f"{addr}, size {self.size}"
+            )
+        self._alloc_cursor = addr + nbytes
+        self.allocations.append(Allocation(label or f"alloc{len(self.allocations)}", addr, nbytes))
+        return addr
+
+    @property
+    def bytes_allocated(self) -> int:
+        """High-water mark of the bump allocator."""
+        return self._alloc_cursor
+
+    # ------------------------------------------------------------------
+    # cache plumbing
+
+    def _writeback(self, line: int) -> None:
+        """Copy one cacheline from the volatile view to the persistent
+        image (the medium-write half of a flush or eviction)."""
+        start = line * self._line
+        end = min(start + self._line, self.size)
+        self._persistent[start:end] = self._volatile[start:end]
+        self.stats.writebacks += 1
+        self.stats.nvm_line_writes += 1
+        self.stats.nvm_bytes_written += end - start
+        if self.wear is not None:
+            self.wear.record(line)
+
+    def _touch(self, addr: int, size: int, *, is_write: bool) -> None:
+        """Run the touched line range through the cache simulator and
+        charge hit/fill costs."""
+        first = addr // self._line
+        last = (addr + size - 1) // self._line
+        stats = self.stats
+        latency = self._latency
+        for line in range(first, last + 1):
+            hit, evicted = self.cache.access(line, is_write=is_write)
+            if hit:
+                stats.cache_hits += 1
+                stats.sim_time_ns += latency.cache_hit_ns
+            elif line == self._prev_line + 1:
+                # forward unit-stride miss: the stream prefetcher has
+                # already pulled this line — cheap, and not a demand miss
+                stats.prefetched_fills += 1
+                stats.nvm_line_reads += 1
+                stats.sim_time_ns += latency.prefetch_hit_ns
+            else:
+                stats.cache_misses += 1
+                stats.nvm_line_reads += 1
+                stats.sim_time_ns += latency.line_fill_ns
+            self._prev_line = line
+            if evicted is not None:
+                victim, victim_dirty = evicted
+                stats.evictions += 1
+                if victim_dirty:
+                    self._writeback(victim)
+                    stats.sim_time_ns += latency.eviction_writeback_ns
+
+    def _check_range(self, addr: int, size: int) -> None:
+        if addr < 0 or size < 0 or addr + size > self.size:
+            raise IndexError(
+                f"access [{addr}, {addr + size}) outside region of size {self.size}"
+            )
+
+    # ------------------------------------------------------------------
+    # crash injection
+
+    def arm_crash(self, after_events: int) -> None:
+        """Arm a power failure that fires just before the ``after_events``-th
+        subsequent *persistence-relevant* event (store, flush, or fence).
+
+        Counting stores as well as flushes lets the fuzzer land crashes
+        between a write and its flush — the window where torn data is
+        possible."""
+        if after_events <= 0:
+            raise ValueError("after_events must be positive")
+        self._crash_countdown = after_events
+
+    def disarm_crash(self) -> None:
+        """Cancel a pending armed crash (if it has not fired)."""
+        self._crash_countdown = None
+
+    def _crash_tick(self) -> None:
+        if self._crash_countdown is None:
+            return
+        self._crash_countdown -= 1
+        if self._crash_countdown <= 0:
+            self._crash_countdown = None
+            raise SimulatedPowerFailure("armed crash point reached")
+
+    # ------------------------------------------------------------------
+    # data path
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Load ``size`` bytes from the volatile view."""
+        self._check_range(addr, size)
+        self._touch(addr, size, is_write=False)
+        self.stats.reads += 1
+        self.stats.bytes_read += size
+        return bytes(self._volatile[addr : addr + size])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Store ``data``; it lands in the cache, not yet in NVM."""
+        size = len(data)
+        self._check_range(addr, size)
+        self._crash_tick()
+        if self.event_hook is not None:
+            self.event_hook("write", addr, size)
+        self._touch(addr, size, is_write=True)
+        self.stats.writes += 1
+        self.stats.bytes_written += size
+        self._volatile[addr : addr + size] = data
+
+    def read_u64(self, addr: int) -> int:
+        """Load an 8-byte little-endian unsigned integer."""
+        return _U64.unpack(self.read(addr, 8))[0]
+
+    def write_u64(self, addr: int, value: int) -> None:
+        """Store an 8-byte little-endian unsigned integer."""
+        self.write(addr, _U64.pack(value))
+
+    def write_atomic_u64(self, addr: int, value: int) -> None:
+        """The paper's 8-byte failure-atomic write.
+
+        Requires natural alignment so the word cannot straddle two
+        atomicity units. Semantically identical to :meth:`write_u64`
+        (the crash model already guarantees aligned 8-byte words never
+        tear); the separate name asserts alignment and documents intent
+        at every commit point in the hashing schemes.
+        """
+        if addr % ATOMIC_UNIT:
+            raise ValueError(
+                f"atomic write requires {ATOMIC_UNIT}-byte alignment, got addr {addr}"
+            )
+        self.write_u64(addr, value)
+
+    # ------------------------------------------------------------------
+    # persistence primitives
+
+    def clflush(self, addr: int) -> None:
+        """Flush (and, with ``clflush`` semantics, invalidate) the line
+        containing ``addr``. A dirty line pays the NVM write penalty."""
+        self._check_range(addr, 1)
+        self._crash_tick()
+        if self.event_hook is not None:
+            self.event_hook("flush", addr, self._line)
+        line = addr // self._line
+        if self.config.flush_invalidates:
+            was_cached, was_dirty = self.cache.flush(line)
+        else:
+            was_dirty = self.cache.writeback(line)
+            was_cached = was_dirty or self.cache.contains(line)
+        self.stats.flushes += 1
+        if was_dirty:
+            self._writeback(line)
+            self.stats.dirty_flushes += 1
+        self.stats.sim_time_ns += self._latency.flush_cost(was_dirty)
+
+    def flush_range(self, addr: int, size: int) -> None:
+        """``clflush`` every line overlapping ``[addr, addr+size)``."""
+        if size <= 0:
+            return
+        self._check_range(addr, size)
+        first = addr // self._line
+        last = (addr + size - 1) // self._line
+        for line in range(first, last + 1):
+            self.clflush(line * self._line)
+
+    def mfence(self) -> None:
+        """Memory fence: orders stores (a no-op for correctness in this
+        sequential simulator) and charges its cost."""
+        self._crash_tick()
+        if self.event_hook is not None:
+            self.event_hook("fence", 0, 0)
+        self.stats.fences += 1
+        self.stats.sim_time_ns += self._latency.fence_ns
+
+    sfence = mfence
+
+    def persist(self, addr: int, size: int = 8) -> None:
+        """The paper's ``Persist``: ``clflush`` the range, then ``mfence``."""
+        self.flush_range(addr, size)
+        self.mfence()
+
+    # ------------------------------------------------------------------
+    # crash/recovery support
+
+    def crash(self, schedule: CrashSchedule | None = None) -> CrashReport:
+        """Simulate a power failure.
+
+        For every line still dirty in the cache, the schedule picks which
+        modified 8-byte words reach the persistent image. Afterwards the
+        volatile view is reset to the persistent image and the cache is
+        cold — exactly the state recovery code sees at reboot.
+        """
+        schedule = schedule or drop_all_schedule()
+        self._crash_countdown = None
+        report = CrashReport()
+        for line in list(self.cache.dirty_lines()):
+            start = line * self._line
+            end = min(start + self._line, self.size)
+            dirty_words = [
+                off
+                for off in range(start, end, ATOMIC_UNIT)
+                if self._volatile[off : off + ATOMIC_UNIT]
+                != self._persistent[off : off + ATOMIC_UNIT]
+            ]
+            if not dirty_words:
+                continue
+            report.dirty_lines += 1
+            persisted = set(schedule.words_persisted(start, dirty_words))
+            for off in dirty_words:
+                if off in persisted:
+                    self._persistent[off : off + ATOMIC_UNIT] = self._volatile[
+                        off : off + ATOMIC_UNIT
+                    ]
+                    report.words_persisted += 1
+                else:
+                    report.words_dropped += 1
+        self._volatile[:] = self._persistent
+        self.cache.invalidate_all()
+        return report
+
+    # ------------------------------------------------------------------
+    # introspection (tests and debugging; no costs charged)
+
+    def peek_persistent(self, addr: int, size: int) -> bytes:
+        """Read the persistent image directly (no cache, no cost)."""
+        self._check_range(addr, size)
+        return bytes(self._persistent[addr : addr + size])
+
+    def peek_volatile(self, addr: int, size: int) -> bytes:
+        """Read the volatile view directly (no cache, no cost)."""
+        self._check_range(addr, size)
+        return bytes(self._volatile[addr : addr + size])
+
+    def unpersisted_ranges(self) -> list[tuple[int, int]]:
+        """Return ``(addr, size)`` extents where the volatile view and the
+        persistent image differ — i.e. data that would be at risk in a
+        crash right now. Useful for durability assertions in tests."""
+        diffs: list[tuple[int, int]] = []
+        run_start: int | None = None
+        for off in range(0, self.size, ATOMIC_UNIT):
+            same = (
+                self._volatile[off : off + ATOMIC_UNIT]
+                == self._persistent[off : off + ATOMIC_UNIT]
+            )
+            if same and run_start is not None:
+                diffs.append((run_start, off - run_start))
+                run_start = None
+            elif not same and run_start is None:
+                run_start = off
+        if run_start is not None:
+            diffs.append((run_start, self.size - run_start))
+        return diffs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NVMRegion(name={self.name!r}, size={self.size}, "
+            f"allocated={self._alloc_cursor}, tech={self._latency.name})"
+        )

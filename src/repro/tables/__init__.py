@@ -1,0 +1,46 @@
+"""Persistent hash-table schemes sharing one NVM substrate.
+
+This package holds everything common to all schemes (cell codec, base
+class, undo log) plus the paper's comparison baselines:
+
+- :class:`~repro.tables.linear.LinearProbingTable` — classic linear
+  probing with backward-shift deletion (the "complicated delete" the
+  paper charges it for);
+- :class:`~repro.tables.pfht.PFHTTable` — bucketized cuckoo with at most
+  one displacement and a stash (Debnath et al.);
+- :class:`~repro.tables.path.PathHashingTable` — inverted-binary-tree
+  position sharing (Zuo & Hua);
+- :class:`~repro.tables.chained.ChainedHashTable` and
+  :class:`~repro.tables.two_choice.TwoChoiceTable` — the schemes the
+  paper mentions but excludes, implemented for the exclusion ablation;
+- :class:`~repro.tables.wal.UndoLog` — the duplicate-copy consistency
+  layer that produces the ``-L`` variants.
+
+The paper's own scheme lives in :mod:`repro.core`.
+"""
+
+from repro.tables.base import PersistentHashTable, TableFullError
+from repro.tables.cell import CellCodec, ItemSpec
+from repro.tables.chained import ChainedHashTable
+from repro.tables.cuckoo import CuckooHashTable
+from repro.tables.level import LevelHashTable
+from repro.tables.linear import LinearProbingTable
+from repro.tables.path import PathHashingTable
+from repro.tables.pfht import PFHTTable
+from repro.tables.two_choice import TwoChoiceTable
+from repro.tables.wal import UndoLog
+
+__all__ = [
+    "CellCodec",
+    "ChainedHashTable",
+    "CuckooHashTable",
+    "ItemSpec",
+    "LevelHashTable",
+    "LinearProbingTable",
+    "PFHTTable",
+    "PathHashingTable",
+    "PersistentHashTable",
+    "TableFullError",
+    "TwoChoiceTable",
+    "UndoLog",
+]

@@ -1,0 +1,276 @@
+"""Abstract persistent hash table and the shared commit discipline.
+
+Every scheme in the repository — the group-hashing contribution and all
+baselines — derives from :class:`PersistentHashTable`, which provides:
+
+- a 64-byte metadata block in NVM (magic, ``count``, ``capacity``) — the
+  paper's *Global info* region;
+- the **uniform commit discipline** used to make the latency comparison
+  fair (DESIGN.md decision): an installed item is always committed as
+
+  1. write key+value, ``persist``;
+  2. atomically set the cell's bitmap bit, ``persist``;
+  3. update the persistent ``count``, ``persist``;
+
+  and a removal as bitmap-clear → persist → kv-clear → persist → count →
+  persist (the paper's Algorithm 3 ordering). Baselines reuse these
+  helpers for their *point* writes; what they lack (and what the undo log
+  retrofits in the ``-L`` variants) is atomicity across *multi-cell*
+  operations such as cuckoo displacement or backward-shift deletion.
+- a generic post-crash ``recover`` that replays the undo log (if any) and
+  rebuilds ``count`` by scanning. Group hashing overrides it with the
+  paper's Algorithm 4.
+"""
+
+from __future__ import annotations
+
+import abc
+import struct
+from typing import Iterator
+
+from repro.hashes import HashFamily
+from repro.nvm.memory import CACHELINE, NVMRegion
+from repro.tables.cell import HEADER_SIZE, OCCUPIED_BIT, CellCodec, ItemSpec
+from repro.tables.wal import UndoLog
+
+_MAGIC = struct.Struct("<Q")
+
+
+class TableFullError(RuntimeError):
+    """Raised when an insertion cannot find any eligible empty cell.
+
+    The space-utilization experiment (Figure 7) is defined as the load
+    factor at which this is first raised.
+    """
+
+
+class PersistentHashTable(abc.ABC):
+    """Base class for all NVM hash tables in this repository."""
+
+    #: short scheme identifier used in reports ("linear", "pfht", ...)
+    scheme_name: str = "abstract"
+
+    def __init__(
+        self,
+        region: NVMRegion,
+        n_cells: int,
+        spec: ItemSpec | None = None,
+        *,
+        log: UndoLog | None = None,
+        seed: int = 0x5EED,
+    ) -> None:
+        if n_cells <= 0:
+            raise ValueError("n_cells must be positive")
+        self.region = region
+        self.spec = spec or ItemSpec()
+        self.codec = CellCodec(self.spec)
+        self.n_cells = n_cells
+        self.log = log
+        self.family = HashFamily(seed)
+        # Global info block (paper Figure 4): magic | count | capacity.
+        self._info_addr = region.alloc(
+            CACHELINE, align=CACHELINE, label=f"{self.scheme_name}.info"
+        )
+        self._count_addr = self._info_addr + 8
+        self._count = 0
+        region.write_u64(self._info_addr, self._magic())
+        region.write_u64(self._count_addr, 0)
+
+    def _magic(self) -> int:
+        return _MAGIC.unpack(
+            (self.scheme_name.encode() + b"\0" * 8)[:8]
+        )[0]
+
+    def _finish_layout(self) -> None:
+        """Subclasses call this after allocating their cell arrays, once
+        ``capacity`` is answerable, to persist the metadata block."""
+        self.region.write_u64(self._info_addr + 16, self.capacity)
+        self.region.persist(self._info_addr, CACHELINE)
+
+    # ------------------------------------------------------------------
+    # public API
+
+    @abc.abstractmethod
+    def insert(self, key: bytes, value: bytes) -> bool:
+        """Insert an item; returns False (or raises
+        :class:`TableFullError` from helpers) when no cell is available.
+        Duplicate keys are *not* detected, matching the paper's
+        Algorithm 1."""
+
+    @abc.abstractmethod
+    def query(self, key: bytes) -> bytes | None:
+        """Return the value stored for ``key``, or ``None``."""
+
+    @abc.abstractmethod
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns whether it was present."""
+
+    def _locate(self, key: bytes) -> int | None:
+        """Address of the cell holding ``key``, or None. Subclasses with
+        a cell-addressed ``_find`` simply delegate; the base fallback
+        scans the inventory (correct for any scheme, O(capacity))."""
+        codec, region = self.codec, self.region
+        for addr in self._iter_cell_addrs():
+            occupied, cell_key = codec.probe(region, addr)
+            if occupied and cell_key == key:
+                return addr
+        return None
+
+    def update(self, key: bytes, value: bytes) -> bool:
+        """In-place value update (extension — the paper defines no
+        update operation).
+
+        Crash atomicity: when the value field is at most 8 bytes (one
+        failure-atomicity unit, naturally aligned because cells are),
+        the update is a single word store — a crash leaves the old or
+        the new value, never a torn one. Wider values are only
+        crash-atomic in the logged (``-L``) variants; unlogged schemes
+        should use delete+insert for multi-word values if atomicity
+        matters.
+        """
+        if len(value) != self.spec.value_size:
+            raise ValueError(
+                f"value must be {self.spec.value_size} bytes, got {len(value)}"
+            )
+        addr = self._locate(key)
+        if addr is None:
+            return False
+        codec, region = self.codec, self.region
+        self._begin_op()
+        if self.log is not None:
+            self.log.record(addr, codec.cell_size)
+        value_addr = addr + codec.value_offset
+        region.write(value_addr, value)
+        region.persist(value_addr, max(1, len(value)))
+        self._commit_op()
+        return True
+
+    @property
+    @abc.abstractmethod
+    def capacity(self) -> int:
+        """Total number of cells (the load-factor denominator)."""
+
+    @abc.abstractmethod
+    def _iter_cell_addrs(self) -> Iterator[int]:
+        """Yield the address of every cell the scheme owns (all levels,
+        buckets, stash...). Used by recovery scans and test inventories."""
+
+    # ------------------------------------------------------------------
+    # shared commit discipline
+
+    def _install(self, addr: int, key: bytes, value: bytes) -> None:
+        """Commit one item into the (empty) cell at ``addr``."""
+        codec, region = self.codec, self.region
+        if self.log is not None:
+            self.log.record(addr, codec.cell_size)
+        codec.write_kv(region, addr, key, value)
+        region.persist(*codec.kv_span(addr))
+        codec.set_occupied(region, addr, True)
+        region.persist(addr, HEADER_SIZE)
+        self._set_count(self._count + 1)
+
+    def _remove(self, addr: int) -> None:
+        """Commit removal of the item in the cell at ``addr``.
+
+        Bitmap first, then the key-value clear — the paper's Algorithm 3
+        ordering, which recovery relies on (a cell with bitmap 0 may hold
+        garbage; recovery resets it)."""
+        codec, region = self.codec, self.region
+        if self.log is not None:
+            self.log.record(addr, codec.cell_size)
+        codec.set_occupied(region, addr, False)
+        region.persist(addr, HEADER_SIZE)
+        codec.clear_kv(region, addr)
+        region.persist(*codec.kv_span(addr))
+        self._set_count(self._count - 1)
+
+    def _relocate(self, src: int, dst: int, key: bytes, value: bytes) -> None:
+        """Move an item between cells (cuckoo displacement / backward
+        shift). Not crash-atomic without a log — this is exactly the
+        operation the ``-L`` variants exist to protect."""
+        codec, region = self.codec, self.region
+        if self.log is not None:
+            self.log.record(dst, codec.cell_size)
+            self.log.record(src, codec.cell_size)
+        codec.write_kv(region, dst, key, value)
+        region.persist(*codec.kv_span(dst))
+        codec.set_occupied(region, dst, True)
+        region.persist(dst, HEADER_SIZE)
+        codec.set_occupied(region, src, False)
+        region.persist(src, HEADER_SIZE)
+        codec.clear_kv(region, src)
+        region.persist(*codec.kv_span(src))
+
+    def _set_count(self, value: int) -> None:
+        """Write-through the persistent occupancy counter."""
+        self._count = value
+        self.region.write_u64(self._count_addr, value)
+        self.region.persist(self._count_addr, 8)
+
+    def _begin_op(self) -> None:
+        """Start a logged operation (no-op without a log)."""
+        if self.log is not None:
+            self.log.begin()
+
+    def _commit_op(self) -> None:
+        """Finish a logged operation: truncate the undo log."""
+        if self.log is not None:
+            self.log.commit()
+
+    # ------------------------------------------------------------------
+    # state
+
+    @property
+    def count(self) -> int:
+        """Number of occupied cells (volatile mirror of the NVM field)."""
+        return self._count
+
+    @property
+    def load_factor(self) -> float:
+        """count / capacity."""
+        return self._count / self.capacity
+
+    @property
+    def persisted_count(self) -> int:
+        """The ``count`` field as read back from the region."""
+        return self.region.read_u64(self._count_addr)
+
+    # ------------------------------------------------------------------
+    # recovery
+
+    def reattach(self) -> None:
+        """Reload volatile mirrors from NVM after a simulated crash.
+
+        Subclasses with extra volatile state must extend this."""
+        self._count = self.region.read_u64(self._count_addr)
+
+    def recover(self) -> None:
+        """Generic post-crash recovery: undo-log rollback, then rebuild
+        ``count`` by scanning every cell. Group hashing overrides this
+        with the paper's Algorithm 4 (which additionally resets the
+        key/value fields of unoccupied cells)."""
+        if self.log is not None:
+            self.log.recover()
+        occupied = 0
+        for addr in self._iter_cell_addrs():
+            if self.codec.is_occupied(self.region, addr):
+                occupied += 1
+        self._set_count(occupied)
+
+    # ------------------------------------------------------------------
+    # test/debug inventory (reads the volatile view without charging costs)
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Yield all stored ``(key, value)`` pairs. Free of simulation
+        cost; intended for assertions, not for workload code."""
+        spec, region = self.spec, self.region
+        for addr in self._iter_cell_addrs():
+            header = region.peek_volatile(addr, HEADER_SIZE)
+            if header[0] & OCCUPIED_BIT:
+                kv = region.peek_volatile(addr + HEADER_SIZE, spec.item_size)
+                yield kv[: spec.key_size], kv[spec.key_size :]
+
+    def check_count(self) -> bool:
+        """Whether the persistent count matches actual occupancy
+        (a consistency invariant used throughout the tests)."""
+        return sum(1 for _ in self.items()) == self.persisted_count

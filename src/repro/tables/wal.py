@@ -1,0 +1,137 @@
+"""Undo logging — the duplicate-copy consistency technique the paper
+argues against.
+
+The ``-L`` variants of the baselines wrap every mutating operation in an
+undo transaction:
+
+1. before a cell is overwritten, its old bytes are appended to the log
+   and **persisted** (``clflush`` + ``mfence``), then the persistent tail
+   pointer is atomically bumped and persisted — ordering that guarantees
+   the old value is recoverable before the in-place write can reach NVM;
+2. when the operation completes, the tail pointer is atomically reset to
+   zero and persisted (commit/truncate).
+
+Per logged cell this costs two extra flushes plus the re-misses caused
+by ``clflush`` invalidating the log lines — which is precisely the
+~2× latency and ~2.2× L3-miss inflation the paper measures in Figure 2.
+
+Recovery (:meth:`UndoLog.recover`) rolls uncommitted entries back in
+reverse order, restoring the pre-operation image.
+"""
+
+from __future__ import annotations
+
+from repro.nvm.memory import CACHELINE, NVMRegion
+
+
+class LogFullError(RuntimeError):
+    """The undo area cannot hold another record; size the log for the
+    scheme's worst-case operation (backward-shift deletes are the
+    largest consumer)."""
+
+
+class UndoLog:
+    """Fixed-capacity undo log stored in the same NVM region.
+
+    Layout::
+
+        +-------------------+----------------------------------------+
+        | tail (8 B, atomic)| entry 0 | entry 1 | ...                 |
+        +-------------------+----------------------------------------+
+
+    Entries have a fixed stride (``16 + record_size`` rounded to 8) so
+    recovery can walk them backwards: ``addr (8) | size (8) | old bytes``.
+    """
+
+    def __init__(
+        self,
+        region: NVMRegion,
+        *,
+        record_size: int,
+        capacity: int = 1024,
+    ) -> None:
+        if record_size <= 0 or capacity <= 0:
+            raise ValueError("record_size and capacity must be positive")
+        self.region = region
+        self.record_size = record_size
+        self.capacity = capacity
+        self.entry_stride = 16 + (-(-record_size // 8) * 8)
+        self._tail_addr = region.alloc(CACHELINE, align=CACHELINE, label="undolog.tail")
+        self._entries_addr = region.alloc(
+            capacity * self.entry_stride, align=CACHELINE, label="undolog.entries"
+        )
+        self._tail = 0
+        region.write_u64(self._tail_addr, 0)
+        region.persist(self._tail_addr, 8)
+
+    # ------------------------------------------------------------------
+
+    def begin(self) -> None:
+        """Start a transaction. The log must be empty — nested or leaked
+        transactions indicate a scheme bug, so fail loudly."""
+        if self._tail != 0:
+            raise RuntimeError(
+                "undo log not empty at begin(); missing commit() or recover()?"
+            )
+
+    def record(self, addr: int, size: int) -> None:
+        """Log the current (pre-image) contents of ``[addr, addr+size)``.
+
+        Must be called *before* the in-place write it protects."""
+        if size > self.record_size:
+            raise ValueError(
+                f"record of {size} bytes exceeds log record size {self.record_size}"
+            )
+        if self._tail >= self.capacity:
+            raise LogFullError(
+                f"undo log full ({self.capacity} entries); "
+                "operation touches more cells than the log was sized for"
+            )
+        region = self.region
+        old = region.read(addr, size)
+        entry = self._entries_addr + self._tail * self.entry_stride
+        region.write_u64(entry, addr)
+        region.write_u64(entry + 8, size)
+        region.write(entry + 16, old)
+        region.persist(entry, 16 + size)
+        self._tail += 1
+        region.write_atomic_u64(self._tail_addr, self._tail)
+        region.persist(self._tail_addr, 8)
+
+    def commit(self) -> None:
+        """Operation complete: truncate the log with one atomic persist."""
+        if self._tail == 0:
+            return
+        self._tail = 0
+        self.region.write_atomic_u64(self._tail_addr, 0)
+        self.region.persist(self._tail_addr, 8)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_entries(self) -> int:
+        """Entries not yet committed (nonzero only mid-operation)."""
+        return self._tail
+
+    def needs_recovery(self) -> bool:
+        """Whether the persistent tail indicates an interrupted operation."""
+        return self.region.read_u64(self._tail_addr) != 0
+
+    def reattach(self) -> None:
+        """Reload the volatile tail mirror after a simulated crash."""
+        self._tail = self.region.read_u64(self._tail_addr)
+
+    def recover(self) -> None:
+        """Roll back uncommitted entries in reverse order and truncate."""
+        region = self.region
+        tail = region.read_u64(self._tail_addr)
+        for i in reversed(range(tail)):
+            entry = self._entries_addr + i * self.entry_stride
+            addr = region.read_u64(entry)
+            size = region.read_u64(entry + 8)
+            old = region.read(entry + 16, size)
+            region.write(addr, old)
+            region.persist(addr, size)
+        self._tail = 0
+        region.write_atomic_u64(self._tail_addr, 0)
+        region.persist(self._tail_addr, 8)

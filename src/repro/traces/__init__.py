@@ -1,0 +1,40 @@
+"""Workload traces (paper Section 4.1).
+
+Three traces drive the evaluation. The paper uses one synthetic and two
+real datasets; where the real data is not redistributable we generate a
+synthetic equivalent with the same key structure and item size (the
+substitution table in DESIGN.md):
+
+- :class:`~repro.traces.random_num.RandomNumTrace` — random integers in
+  ``[0, 2^26)``, 16-byte items (exactly the paper's generator);
+- :class:`~repro.traces.bag_of_words.BagOfWordsTrace` — (DocID, WordID)
+  pairs with Zipfian word frequencies, modelled on the UCI PubMed
+  bags-of-words collection, 16-byte items;
+- :class:`~repro.traces.fingerprint.FingerprintTrace` — MD5 digests of
+  synthetic file contents, modelled on the FSL Mac OS X snapshots,
+  32-byte items.
+
+Every trace yields unique keys (the hash tables, like the paper's
+Algorithm 1, do not check for duplicates) and knows its
+:class:`~repro.tables.cell.ItemSpec`.
+"""
+
+from repro.traces.base import Trace
+from repro.traces.bag_of_words import BagOfWordsTrace
+from repro.traces.fingerprint import FingerprintTrace
+from repro.traces.random_num import RandomNumTrace
+
+#: trace registry for the benchmark CLI, keyed by the paper's names
+TRACES: dict[str, type[Trace]] = {
+    "randomnum": RandomNumTrace,
+    "bagofwords": BagOfWordsTrace,
+    "fingerprint": FingerprintTrace,
+}
+
+__all__ = [
+    "BagOfWordsTrace",
+    "FingerprintTrace",
+    "RandomNumTrace",
+    "TRACES",
+    "Trace",
+]

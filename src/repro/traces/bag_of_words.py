@@ -1,0 +1,87 @@
+"""Bag-of-Words trace — synthetic stand-in for the UCI PubMed collection.
+
+The paper uses the PubMed abstracts bag-of-words dataset (~8.2M
+documents, 141k-word vocabulary, ~82M (DocID, WordID) items) and keys
+the hash items by the (DocID, WordID) combination, 16 bytes per item.
+
+The dataset is not bundled here (no network, ~2 GB raw), so we generate
+a synthetic equivalent that preserves the two properties the hash tables
+can observe (DESIGN.md substitution table):
+
+- **key structure**: a (DocID: u32, WordID: u32) pair packed into an
+  8-byte key — a highly structured, non-uniform bit pattern (small
+  integers in both halves), which exercises the hash functions harder
+  than RandomNum's uniform keys;
+- **distribution**: word IDs follow a Zipf law (word frequencies in
+  natural-language corpora are Zipfian); document IDs increase
+  sequentially with a Poisson-ish number of distinct words each. The
+  per-document (doc, word) combinations are unique by construction,
+  matching the bag-of-words format where each (DocID, WordID) row
+  appears once with its count.
+
+Values are the 8-byte little-endian word count (log-normal-ish, ≥ 1),
+mirroring the dataset's count column.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.tables.cell import ItemSpec
+from repro.traces.base import Trace
+
+#: PubMed vocabulary size (from the UCI dataset's docword header)
+PUBMED_VOCAB = 141_043
+
+#: mean distinct words per PubMed abstract (≈ 82M items / 8.2M docs)
+WORDS_PER_DOC = 10.0
+
+
+class BagOfWordsTrace(Trace):
+    """(DocID, WordID) keys with Zipfian word popularity, 16-byte items."""
+
+    name = "bagofwords"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        vocab: int = PUBMED_VOCAB,
+        words_per_doc: float = WORDS_PER_DOC,
+        zipf_s: float = 1.1,
+    ) -> None:
+        super().__init__(seed)
+        if vocab <= 1:
+            raise ValueError("vocab must be > 1")
+        if words_per_doc <= 0:
+            raise ValueError("words_per_doc must be positive")
+        if zipf_s <= 1.0:
+            raise ValueError("numpy's Zipf sampler requires s > 1")
+        self.vocab = vocab
+        self.words_per_doc = words_per_doc
+        self.zipf_s = zipf_s
+
+    @property
+    def spec(self) -> ItemSpec:
+        return ItemSpec(key_size=8, value_size=8)
+
+    def _generate(self) -> Iterator[tuple[bytes, bytes]]:
+        rng = np.random.default_rng(self.seed)
+        doc_id = 0
+        while True:
+            doc_id += 1
+            n_words = max(1, int(rng.poisson(self.words_per_doc)))
+            # Zipf draw for word identity; clip into the vocabulary and
+            # dedupe within the document (bag-of-words rows are unique
+            # per (doc, word)). Word IDs are 1-based, as in the UCI
+            # docword format.
+            words = rng.zipf(self.zipf_s, size=n_words)
+            words = np.unique(np.minimum(words, self.vocab))
+            counts = 1 + rng.poisson(1.5, size=len(words))
+            for word, count in zip(words.tolist(), counts.tolist()):
+                key = int(doc_id).to_bytes(4, "little") + int(word).to_bytes(
+                    4, "little"
+                )
+                yield key, int(count).to_bytes(8, "little")

@@ -1,0 +1,64 @@
+"""Trace protocol shared by all workloads.
+
+A trace is an infinite-ish deterministic stream of unique ``(key,
+value)`` items of a fixed :class:`~repro.tables.cell.ItemSpec`. The
+harness consumes as many as it needs (fill phase + measured phase), so
+traces generate lazily and guarantee uniqueness by construction or with
+a seen-set.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from repro.tables.cell import ItemSpec
+
+
+class Trace(abc.ABC):
+    """Deterministic, seeded item stream."""
+
+    #: registry/report name — matches the paper's trace names
+    name: str = "abstract"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    @property
+    @abc.abstractmethod
+    def spec(self) -> ItemSpec:
+        """Key/value widths of this trace's items."""
+
+    @abc.abstractmethod
+    def _generate(self) -> Iterator[tuple[bytes, bytes]]:
+        """Yield raw (possibly repeating) items; :meth:`items` dedupes."""
+
+    def unique_items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Yield the stream with duplicate keys filtered out.
+
+        Uniqueness matters because the paper's insert algorithms do not
+        check for duplicates; feeding a duplicate key would create two
+        live cells for one key and corrupt delete/query accounting.
+        """
+        seen: set[bytes] = set()
+        for key, value in self._generate():
+            if key in seen:
+                continue
+            seen.add(key)
+            yield key, value
+
+    def items(self, n: int) -> list[tuple[bytes, bytes]]:
+        """Return the first ``n`` unique items of the stream."""
+        out: list[tuple[bytes, bytes]] = []
+        for item in self.unique_items():
+            out.append(item)
+            if len(out) == n:
+                return out
+        raise ValueError(
+            f"trace {self.name} exhausted after {len(out)} unique items "
+            f"(requested {n})"
+        )
+
+    def keys(self, n: int) -> list[bytes]:
+        """The first ``n`` unique keys."""
+        return [key for key, _ in self.items(n)]

@@ -1,0 +1,81 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    CacheConfig,
+    ChainedHashTable,
+    CuckooHashTable,
+    GroupHashTable,
+    ItemSpec,
+    LevelHashTable,
+    LinearProbingTable,
+    NVMRegion,
+    PFHTTable,
+    PathHashingTable,
+    SimConfig,
+    TwoChoiceTable,
+    UndoLog,
+)
+
+#: small cache so tests exercise evictions and misses
+SMALL_CACHE = CacheConfig(size_bytes=16 * 1024, line_size=64, associativity=4)
+
+
+def small_region(size: int = 4 << 20, **kw) -> NVMRegion:
+    """Region with a deliberately small cache."""
+    return NVMRegion(size, SimConfig(cache=SMALL_CACHE, **kw))
+
+
+@pytest.fixture
+def region() -> NVMRegion:
+    return small_region()
+
+
+#: (name, factory) for every scheme, sized at 512 cells; factories take
+#: (region, log) so logged variants can be built uniformly
+SCHEME_FACTORIES = {
+    "linear": lambda r, log=None: LinearProbingTable(r, 512, log=log),
+    "pfht": lambda r, log=None: PFHTTable(r, 512, log=log),
+    "path": lambda r, log=None: PathHashingTable(r, 256, log=log),
+    "chained": lambda r, log=None: ChainedHashTable(r, 512, log=log),
+    "two-choice": lambda r, log=None: TwoChoiceTable(r, 512, log=log),
+    "cuckoo": lambda r, log=None: CuckooHashTable(r, 512, log=log),
+    "level": lambda r, log=None: LevelHashTable(r, 512, log=log),
+    "group": lambda r, log=None: GroupHashTable(r, 512, group_size=32),
+}
+
+ALL_SCHEMES = tuple(SCHEME_FACTORIES)
+
+#: schemes that accept an undo log
+LOGGABLE_SCHEMES = tuple(n for n in ALL_SCHEMES if n != "group")
+
+
+def make_table(name: str, region: NVMRegion, *, logged: bool = False):
+    """Build a test-sized table of the named scheme."""
+    log = None
+    if logged:
+        log = UndoLog(region, record_size=64, capacity=2048)
+    return SCHEME_FACTORIES[name](region, log=log)
+
+
+def random_items(n: int, seed: int = 0, spec: ItemSpec | None = None):
+    """Deterministic unique (key, value) pairs of the given spec."""
+    spec = spec or ItemSpec()
+    rng = random.Random(seed)
+    items = []
+    seen = set()
+    while len(items) < n:
+        key = rng.getrandbits(8 * spec.key_size).to_bytes(spec.key_size, "little")
+        if key in seen:
+            continue
+        seen.add(key)
+        value = rng.getrandbits(8 * spec.value_size).to_bytes(
+            spec.value_size, "little"
+        )
+        items.append((key, value))
+    return items

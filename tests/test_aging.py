@@ -1,0 +1,135 @@
+"""Aging tests: long insert/delete churn, hole reuse, steady state.
+
+The paper's protocol fills once and measures; real deployments churn.
+These tests run thousands of mixed operations per scheme and check the
+structures neither leak capacity nor corrupt under sustained reuse of
+freed cells.
+"""
+
+import random
+
+import pytest
+
+from tests.conftest import ALL_SCHEMES, make_table, random_items, small_region
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_steady_state_churn(scheme):
+    """Hold ~40% occupancy while inserting/deleting 2000 times."""
+    region = small_region()
+    table = make_table(scheme, region)
+    rng = random.Random(1)
+    pool = iter(random_items(4000, seed=1))
+    live: list[tuple[bytes, bytes]] = []
+    target = int(table.capacity * 0.4)
+    inserts = deletes = 0
+    for _ in range(2000):
+        if len(live) < target or (live and rng.random() < 0.4):
+            if live and len(live) >= target:
+                k, _ = live.pop(rng.randrange(len(live)))
+                assert table.delete(k)
+                deletes += 1
+            else:
+                k, v = next(pool)
+                if table.insert(k, v):
+                    live.append((k, v))
+                    inserts += 1
+        else:
+            k, _ = live.pop(rng.randrange(len(live)))
+            assert table.delete(k)
+            deletes += 1
+    assert inserts > 500 and deletes > 300
+    assert table.count == len(live)
+    state = dict(table.items())
+    assert state == dict(live)
+    assert table.check_count()
+
+
+def test_group_hole_reuse_keeps_groups_compactish():
+    """Deleting from a group punches holes; re-inserting fills the first
+    hole (Algorithm 1 scans from the group start), so long churn does
+    not push items ever deeper."""
+    region = small_region()
+    table = make_table("group", region)
+
+    def key_for_slot(slot, avoid):
+        i = 0
+        while True:
+            key = i.to_bytes(8, "little")
+            if key not in avoid and table.layout.slot(table._hashes[0](key)) == slot:
+                return key
+            i += 1
+
+    avoid: set[bytes] = set()
+    keys = []
+    for _ in range(6):  # home + 5 spills into one group
+        k = key_for_slot(9, avoid)
+        avoid.add(k)
+        keys.append(k)
+        table.insert(k, b"v" * 8)
+    group = table.layout.group_of(9)
+    start = table.layout.group_start(9)
+    # delete the two shallowest spills, then insert two fresh colliders
+    table.delete(keys[1])
+    table.delete(keys[2])
+    fresh = []
+    for _ in range(2):
+        k = key_for_slot(9, avoid)
+        avoid.add(k)
+        fresh.append(k)
+        table.insert(k, b"w" * 8)
+    # they must occupy the freed shallow cells, not extend the prefix
+    occupied_depths = [
+        i
+        for i in range(table.group_size)
+        if table.codec.is_occupied(
+            region, table.layout.tab2_addr(table.codec, start + i)
+        )
+    ]
+    assert max(occupied_depths) == 4  # depth never grew past the original 5 spills
+    assert table.group_fill(group) == 5
+
+
+@pytest.mark.parametrize("scheme", ("linear", "group"))
+def test_full_drain_and_refill(scheme):
+    """Fill to capacity-ish, drain to zero, refill: the second fill must
+    behave like the first (no residue)."""
+    region = small_region()
+    table = make_table(scheme, region)
+    items1 = random_items(200, seed=2)
+    accepted1 = [(k, v) for k, v in items1 if table.insert(k, v)]
+    for k, _ in accepted1:
+        assert table.delete(k)
+    assert table.count == 0
+    assert dict(table.items()) == {}
+    items2 = random_items(200, seed=3)
+    accepted2 = [(k, v) for k, v in items2 if table.insert(k, v)]
+    assert len(accepted2) >= len(accepted1) - 5
+    assert dict(table.items()) == dict(accepted2)
+
+
+def test_churn_then_crash_then_churn():
+    """Interleave churn, crash/recovery, and more churn on group
+    hashing; consistency must hold at every boundary."""
+    from repro.nvm import random_schedule
+
+    region = small_region()
+    table = make_table("group", region)
+    rng = random.Random(7)
+    pool = iter(random_items(3000, seed=4))
+    live = {}
+    for cycle in range(6):
+        for _ in range(150):
+            if live and rng.random() < 0.35:
+                k = rng.choice(sorted(live))
+                assert table.delete(k)
+                del live[k]
+            else:
+                k, v = next(pool)
+                if table.insert(k, v):
+                    live[k] = v
+        region.crash(random_schedule(cycle))
+        table.reattach()
+        table.recover()
+        assert dict(table.items()) == live, f"cycle {cycle}"
+        assert table.check_count()

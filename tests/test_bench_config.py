@@ -1,0 +1,90 @@
+"""Tests for the benchmark configuration layer (scales, factories)."""
+
+import pytest
+
+from repro.bench.config import (
+    EXTRA_SCHEMES,
+    SCALES,
+    SCHEMES,
+    build_table,
+    make_trace,
+    region_for,
+)
+from repro.tables import ItemSpec
+
+
+def test_scales_are_ordered_by_size():
+    assert (
+        SCALES["tiny"].total_cells
+        < SCALES["small"].total_cells
+        < SCALES["medium"].total_cells
+        < SCALES["paper"].total_cells
+    )
+
+
+def test_paper_scale_matches_paper_parameters():
+    paper = SCALES["paper"]
+    assert paper.total_cells == 1 << 23  # RandomNum table size
+    assert paper.group_size == 256
+    assert paper.measure_ops == 1000
+    assert paper.group_sizes == (64, 128, 256, 512, 1024)  # Figure 8 sweep
+
+
+def test_scheme_list_matches_figure_order():
+    assert SCHEMES == (
+        "linear",
+        "linear-L",
+        "pfht",
+        "pfht-L",
+        "path",
+        "path-L",
+        "group",
+    )
+
+
+@pytest.mark.parametrize("scheme", SCHEMES + EXTRA_SCHEMES)
+def test_build_every_scheme(scheme):
+    built = build_table(scheme, 1 << 10, ItemSpec(), group_size=32)
+    table = built.table
+    # capacities comparable: within 2x of the requested total cells
+    assert (1 << 10) * 0.5 <= table.capacity <= (1 << 10) * 1.25
+    assert table.insert(b"k" * 8, b"v" * 8)
+    assert table.query(b"k" * 8) == b"v" * 8
+    assert (built.log is not None) == scheme.endswith("-L")
+
+
+def test_logged_build_attaches_log():
+    built = build_table("linear-L", 512, ItemSpec())
+    assert built.log is not None
+    assert built.table.log is built.log
+
+
+def test_group_rejects_log_suffix():
+    with pytest.raises(ValueError):
+        build_table("group-L", 512, ItemSpec())
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ValueError):
+        build_table("robinhood", 512, ItemSpec())
+
+
+def test_region_cache_scales_with_table():
+    small = region_for(1 << 10, ItemSpec(), cache_ratio=8.0)
+    large = region_for(1 << 14, ItemSpec(), cache_ratio=8.0)
+    assert large.config.cache.size_bytes > small.config.cache.size_bytes
+    # ratio ≈ table bytes / 8
+    table_bytes = (1 << 14) * 24
+    assert large.config.cache.size_bytes == pytest.approx(table_bytes / 8, rel=0.1)
+
+
+def test_region_big_enough_for_every_scheme():
+    for scheme in SCHEMES + EXTRA_SCHEMES:
+        built = build_table(scheme, 1 << 12, ItemSpec(16, 16))
+        assert built.region.bytes_allocated <= built.region.size
+
+
+def test_make_trace():
+    assert make_trace("randomnum").name == "randomnum"
+    with pytest.raises(ValueError):
+        make_trace("nope")

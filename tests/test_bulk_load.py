@@ -1,0 +1,97 @@
+"""Tests for the bulk-loading fast path."""
+
+import pytest
+
+from tests.conftest import random_items, small_region
+
+from repro import GroupHashTable, bulk_load
+
+
+def build(n_cells=512, group_size=32):
+    region = small_region()
+    return region, GroupHashTable(region, n_cells, group_size=group_size)
+
+
+def test_bulk_load_equivalent_to_inserts():
+    """Same items, same order → cell-for-cell identical table."""
+    items = random_items(300, seed=1)
+    r1, incremental = build()
+    for k, v in items:
+        incremental.insert(k, v)
+    r2, bulk = build()
+    rejected = bulk_load(bulk, items)
+    assert rejected == []
+    assert bulk.count == incremental.count
+    assert dict(bulk.items()) == dict(incremental.items())
+    # placement policy identical: every cell byte-for-byte equal
+    for a1, a2 in zip(incremental._iter_cell_addrs(), bulk._iter_cell_addrs()):
+        assert r1.peek_volatile(a1, 24) == r2.peek_volatile(a2, 24)
+
+
+def test_bulk_load_is_fully_persistent():
+    region, table = build()
+    bulk_load(table, random_items(200, seed=2))
+    assert region.unpersisted_ranges() == []
+    region.crash()
+    table.reattach()
+    assert table.count == 200
+    assert table.check_count()
+
+
+def test_bulk_load_much_cheaper_than_inserts():
+    items = random_items(400, seed=3)
+    r1, incremental = build()
+    for k, v in items:
+        incremental.insert(k, v)
+    r2, bulk = build()
+    bulk_load(bulk, items)
+    assert r2.stats.flushes < 0.4 * r1.stats.flushes
+    assert r2.stats.sim_time_ns < 0.5 * r1.stats.sim_time_ns
+
+
+def test_bulk_load_respects_existing_items():
+    _, table = build()
+    pre = random_items(50, seed=4)
+    for k, v in pre:
+        table.insert(k, v)
+    new = random_items(100, seed=5)
+    bulk_load(table, new)
+    state = dict(table.items())
+    for k, v in pre + new:
+        assert state[k] == v
+    assert table.count == 150
+
+
+def test_bulk_load_reports_overflow():
+    _, table = build(n_cells=64, group_size=4)
+    items = random_items(200, seed=6)
+    rejected = bulk_load(table, items)
+    assert rejected  # 200 items into 64 cells must overflow
+    assert table.count + len(rejected) == 200
+    placed = dict(table.items())
+    for k, v in rejected:
+        assert k not in placed
+
+
+def test_bulk_load_empty():
+    _, table = build()
+    assert bulk_load(table, []) == []
+    assert table.count == 0
+
+
+def test_normal_operations_after_bulk_load():
+    """The table returns to Algorithm 1 semantics afterwards."""
+    region, table = build()
+    items = random_items(250, seed=7)
+    bulk_load(table, items)
+    extra = random_items(270, seed=7)[250:]
+    for k, v in extra:
+        assert table.insert(k, v)
+    for k, _ in items[:50]:
+        assert table.delete(k)
+    assert table.check_count()
+    # crash/recover still sound
+    region.crash()
+    table.reattach()
+    table.recover()
+    assert table.check_count()

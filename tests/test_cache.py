@@ -1,0 +1,152 @@
+"""Unit and property tests for the set-associative cache simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm.cache import CacheConfig, CacheSim
+
+
+def tiny_cache(assoc=2, sets=4) -> CacheSim:
+    return CacheSim(
+        CacheConfig(size_bytes=64 * assoc * sets, line_size=64, associativity=assoc)
+    )
+
+
+def test_config_geometry():
+    cfg = CacheConfig(size_bytes=2 * 1024 * 1024, line_size=64, associativity=8)
+    assert cfg.n_lines == 32768
+    assert cfg.n_sets == 4096
+
+
+def test_config_rejects_bad_line_size():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1024, line_size=48, associativity=2)
+
+
+def test_config_rejects_undersized_cache():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=64, line_size=64, associativity=4)
+
+
+def test_first_access_misses_then_hits():
+    cache = tiny_cache()
+    hit, evicted = cache.access(10, is_write=False)
+    assert not hit and evicted is None
+    hit, evicted = cache.access(10, is_write=False)
+    assert hit and evicted is None
+
+
+def test_write_marks_dirty():
+    cache = tiny_cache()
+    cache.access(3, is_write=True)
+    assert cache.is_dirty(3)
+    cache.access(4, is_write=False)
+    assert not cache.is_dirty(4)
+
+
+def test_read_after_write_keeps_dirty():
+    cache = tiny_cache()
+    cache.access(3, is_write=True)
+    cache.access(3, is_write=False)
+    assert cache.is_dirty(3)
+
+
+def test_lru_eviction_order():
+    cache = tiny_cache(assoc=2, sets=1)
+    cache.access(0, is_write=False)
+    cache.access(1, is_write=False)
+    cache.access(0, is_write=False)  # refresh 0: LRU victim is now 1
+    hit, evicted = cache.access(2, is_write=False)
+    assert not hit
+    assert evicted == (1, False)
+    assert cache.contains(0) and cache.contains(2) and not cache.contains(1)
+
+
+def test_eviction_reports_dirtiness():
+    cache = tiny_cache(assoc=1, sets=1)
+    cache.access(0, is_write=True)
+    _, evicted = cache.access(1, is_write=False)
+    assert evicted == (0, True)
+
+
+def test_flush_invalidates_and_reports_dirty():
+    cache = tiny_cache()
+    cache.access(5, is_write=True)
+    was_cached, was_dirty = cache.flush(5)
+    assert was_cached and was_dirty
+    assert not cache.contains(5)
+    # flushing again: not cached
+    assert cache.flush(5) == (False, False)
+
+
+def test_writeback_keeps_line_clean_resident():
+    cache = tiny_cache()
+    cache.access(5, is_write=True)
+    assert cache.writeback(5) is True
+    assert cache.contains(5)
+    assert not cache.is_dirty(5)
+    assert cache.writeback(5) is False  # already clean
+
+
+def test_dirty_lines_enumeration():
+    cache = tiny_cache(assoc=4, sets=2)
+    cache.access(0, is_write=True)
+    cache.access(1, is_write=False)
+    cache.access(2, is_write=True)
+    assert sorted(cache.dirty_lines()) == [0, 2]
+    assert sorted(cache.resident_lines()) == [0, 1, 2]
+
+
+def test_invalidate_all():
+    cache = tiny_cache()
+    for line in range(5):
+        cache.access(line, is_write=True)
+    cache.invalidate_all()
+    assert len(cache) == 0
+    assert list(cache.dirty_lines()) == []
+
+
+def test_lines_map_to_distinct_sets():
+    cache = tiny_cache(assoc=1, sets=4)
+    # lines 0..3 land in different sets: no evictions
+    for line in range(4):
+        _, evicted = cache.access(line, is_write=False)
+        assert evicted is None
+    assert len(cache) == 4
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 63), st.booleans()), max_size=200))
+def test_capacity_invariant(ops):
+    """Residency can never exceed associativity per set or total capacity."""
+    cache = tiny_cache(assoc=2, sets=4)
+    for line, is_write in ops:
+        cache.access(line, is_write=is_write)
+        assert len(cache) <= 8
+        per_set: dict[int, int] = {}
+        for resident in cache.resident_lines():
+            per_set[resident % 4] = per_set.get(resident % 4, 0) + 1
+        assert all(v <= 2 for v in per_set.values())
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 15), st.booleans()), max_size=100))
+def test_matches_reference_lru_model(ops):
+    """Cross-check against a straightforward per-set LRU list model."""
+    assoc, n_sets = 2, 2
+    cache = tiny_cache(assoc=assoc, sets=n_sets)
+    model: dict[int, list[int]] = {s: [] for s in range(n_sets)}
+    for line, is_write in ops:
+        bucket = model[line % n_sets]
+        expect_hit = line in bucket
+        hit, _ = cache.access(line, is_write=is_write)
+        assert hit == expect_hit
+        if expect_hit:
+            bucket.remove(line)
+        elif len(bucket) == assoc:
+            bucket.pop(0)
+        bucket.append(line)
+    for s in range(n_sets):
+        resident = sorted(l for l in cache.resident_lines() if l % n_sets == s)
+        assert resident == sorted(model[s])

@@ -1,0 +1,126 @@
+"""Unit tests for the cell codec (layout, bitmap commit, kv access)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm import NVMRegion
+from repro.tables.cell import HEADER_SIZE, CellCodec, ItemSpec
+
+
+def region():
+    return NVMRegion(1 << 16)
+
+
+def test_item_spec_sizes():
+    spec = ItemSpec(8, 8)
+    assert spec.item_size == 16
+    assert ItemSpec(16, 16).item_size == 32
+
+
+def test_item_spec_validation():
+    with pytest.raises(ValueError):
+        ItemSpec(0, 8)
+    with pytest.raises(ValueError):
+        ItemSpec(8, -1)
+
+
+def test_cell_size_is_8_byte_aligned():
+    for key, value in ((8, 8), (16, 16), (8, 5), (3, 3)):
+        codec = CellCodec(ItemSpec(key, value))
+        assert codec.cell_size % 8 == 0
+        assert codec.cell_size >= HEADER_SIZE + key + value
+
+
+def test_addr_arithmetic():
+    codec = CellCodec(ItemSpec(8, 8))
+    assert codec.addr(100, 0) == 100
+    assert codec.addr(100, 3) == 100 + 3 * codec.cell_size
+    assert codec.array_bytes(10) == 10 * codec.cell_size
+
+
+def test_fresh_cell_is_empty():
+    codec = CellCodec(ItemSpec())
+    r = region()
+    assert not codec.is_occupied(r, 0)
+
+
+def test_write_kv_does_not_set_bitmap():
+    codec = CellCodec(ItemSpec())
+    r = region()
+    codec.write_kv(r, 0, b"k" * 8, b"v" * 8)
+    assert not codec.is_occupied(r, 0)
+    assert codec.read_key(r, 0) == b"k" * 8
+    assert codec.read_value(r, 0) == b"v" * 8
+
+
+def test_set_occupied_commit_and_clear():
+    codec = CellCodec(ItemSpec())
+    r = region()
+    codec.set_occupied(r, 0, True)
+    assert codec.is_occupied(r, 0)
+    codec.set_occupied(r, 0, False)
+    assert not codec.is_occupied(r, 0)
+
+
+def test_set_occupied_preserves_other_header_bits():
+    codec = CellCodec(ItemSpec())
+    r = region()
+    r.write_u64(0, 0xFF00)  # future header bits
+    codec.set_occupied(r, 0, True)
+    assert r.read_u64(0) == 0xFF01
+    codec.set_occupied(r, 0, False)
+    assert r.read_u64(0) == 0xFF00
+
+
+def test_probe_reads_header_and_key_together():
+    codec = CellCodec(ItemSpec())
+    r = region()
+    codec.write_kv(r, 0, b"abcdefgh", b"v" * 8)
+    codec.set_occupied(r, 0, True)
+    occupied, key = codec.probe(r, 0)
+    assert occupied and key == b"abcdefgh"
+
+
+def test_clear_kv():
+    codec = CellCodec(ItemSpec())
+    r = region()
+    codec.write_kv(r, 0, b"k" * 8, b"v" * 8)
+    codec.clear_kv(r, 0)
+    assert codec.read_key(r, 0) == bytes(8)
+    assert codec.read_value(r, 0) == bytes(8)
+
+
+def test_write_kv_validates_sizes():
+    codec = CellCodec(ItemSpec(8, 8))
+    r = region()
+    with pytest.raises(ValueError):
+        codec.write_kv(r, 0, b"short", b"v" * 8)
+    with pytest.raises(ValueError):
+        codec.write_kv(r, 0, b"k" * 8, b"v" * 9)
+
+
+def test_kv_span_covers_item():
+    codec = CellCodec(ItemSpec(16, 16))
+    addr, size = codec.kv_span(1000)
+    assert addr == 1000 + HEADER_SIZE
+    assert size == 32
+
+
+def test_headers_are_atomically_alignable_in_arrays():
+    """Every cell header in a packed array must be 8-byte aligned, or the
+    bitmap commit could not be failure-atomic."""
+    for spec in (ItemSpec(8, 8), ItemSpec(16, 16), ItemSpec(8, 3)):
+        codec = CellCodec(spec)
+        for i in range(5):
+            assert codec.addr(0, i) % 8 == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(min_size=8, max_size=8), st.binary(min_size=8, max_size=8))
+def test_kv_roundtrip_property(key, value):
+    codec = CellCodec(ItemSpec())
+    r = region()
+    codec.write_kv(r, 64, key, value)
+    assert codec.read_key(r, 64) == key
+    assert codec.read_value(r, 64) == value

@@ -1,0 +1,123 @@
+"""Property tests on the cost model itself: invariants any defensible
+event-cost accounting must satisfy, checked under random access
+sequences. A violation here would undermine every latency number in
+EXPERIMENTS.md."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.nvm import CacheConfig, NVMRegion, SimConfig
+from repro.nvm.latency import DRAM, PAPER_NVM, PCM
+
+CACHE = CacheConfig(size_bytes=4096, line_size=64, associativity=2)
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("read"), st.integers(0, 2000), st.integers(1, 64)),
+        st.tuples(st.just("write"), st.integers(0, 2000), st.integers(1, 64)),
+        st.tuples(st.just("flush"), st.integers(0, 2000), st.just(1)),
+        st.tuples(st.just("fence"), st.just(0), st.just(0)),
+    ),
+    max_size=80,
+)
+
+
+def apply(region, ops):
+    for kind, addr, size in ops:
+        if kind == "read":
+            region.read(addr, min(size, region.size - addr))
+        elif kind == "write":
+            region.write(addr, b"x" * min(size, region.size - addr))
+        elif kind == "flush":
+            region.clflush(addr)
+        else:
+            region.mfence()
+
+
+@settings(max_examples=100, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_sim_time_is_monotone_nondecreasing(ops):
+    region = NVMRegion(4096, SimConfig(cache=CACHE))
+    last = 0.0
+    for op in ops:
+        apply(region, [op])
+        assert region.stats.sim_time_ns >= last
+        last = region.stats.sim_time_ns
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_same_ops_same_cost(ops):
+    """Determinism: identical sequences cost identically."""
+    a = NVMRegion(4096, SimConfig(cache=CACHE))
+    b = NVMRegion(4096, SimConfig(cache=CACHE))
+    apply(a, ops)
+    apply(b, ops)
+    assert a.stats.as_dict() == b.stats.as_dict()
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_slower_medium_never_cheaper(ops):
+    """Dominance: raising every event cost cannot reduce total time."""
+    fast = NVMRegion(4096, SimConfig(latency=DRAM, cache=CACHE))
+    slow = NVMRegion(4096, SimConfig(latency=PCM, cache=CACHE))
+    apply(fast, ops)
+    apply(slow, ops)
+    assert slow.stats.sim_time_ns >= fast.stats.sim_time_ns
+    # event counts themselves are technology-independent
+    assert slow.stats.cache_misses == fast.stats.cache_misses
+    assert slow.stats.flushes == fast.stats.flushes
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_accounting_identities(ops):
+    """Counter identities: hits + misses + prefetched = touched lines;
+    dirty flushes ≤ flushes; medium line writes = writebacks."""
+    region = NVMRegion(4096, SimConfig(cache=CACHE))
+    apply(region, ops)
+    s = region.stats
+    assert s.dirty_flushes <= s.flushes
+    assert s.nvm_line_writes == s.writebacks
+    assert s.cache_hits + s.cache_misses + s.prefetched_fills >= s.accesses
+    assert s.nvm_bytes_written % 8 == 0  # line-granular (64) actually
+    assert s.miss_ratio <= 1.0
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS)
+def test_volatile_view_is_last_writer(ops):
+    """The volatile view always reflects program order regardless of
+    cache/flush activity (a cache that corrupted data would be caught
+    here)."""
+    region = NVMRegion(4096, SimConfig(cache=CACHE))
+    shadow = bytearray(4096)
+    for kind, addr, size in ops:
+        if kind == "write":
+            size = min(size, 4096 - addr)
+            region.write(addr, b"x" * size)
+            shadow[addr : addr + size] = b"x" * size
+        elif kind == "read":
+            size = min(size, 4096 - addr)
+            assert region.read(addr, size) == bytes(shadow[addr : addr + size])
+        elif kind == "flush":
+            region.clflush(addr)
+        else:
+            region.mfence()
+    assert region.peek_volatile(0, 4096) == bytes(shadow)
+
+
+def test_flush_then_refill_costs_more_than_hit():
+    """The clflush-invalidation effect, in cost terms: touch-flush-touch
+    is strictly costlier than touch-touch."""
+    a = NVMRegion(4096, SimConfig(cache=CACHE))
+    a.read(0, 8)
+    a.read(0, 8)
+    b = NVMRegion(4096, SimConfig(cache=CACHE))
+    b.read(0, 8)
+    b.clflush(0)
+    b.read(0, 8)
+    assert b.stats.sim_time_ns > a.stats.sim_time_ns
+    assert b.stats.cache_misses == 2 and a.stats.cache_misses == 1

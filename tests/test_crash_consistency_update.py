@@ -1,0 +1,65 @@
+"""Crash-consistency fuzzing for the update operation — extending the
+insert/delete fuzz of test_crash_consistency.py to the third mutating
+operation."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_table, random_items, small_region
+
+from repro.nvm import SimulatedPowerFailure, random_schedule
+
+
+def fuzz_update_crash(scheme, *, logged, at_event, schedule_seed):
+    region = small_region()
+    table = make_table(scheme, region, logged=logged)
+    committed = {}
+    for k, v in random_items(20, seed=13):
+        if table.insert(k, v):
+            committed[k] = v
+    victim = sorted(committed)[7]
+    old_value = committed[victim]
+    new_value = b"\xAB" * 8
+
+    region.arm_crash(at_event)
+    finished = False
+    try:
+        finished = table.update(victim, new_value)
+        region.disarm_crash()
+    except SimulatedPowerFailure:
+        pass
+    region.crash(random_schedule(schedule_seed))
+    table.reattach()
+    table.recover()
+
+    state = dict(table.items())
+    # the victim must hold old or new value — never torn, never vanish
+    assert state.get(victim) in (old_value, new_value)
+    if finished:
+        assert state[victim] == new_value
+    for k, v in committed.items():
+        if k != victim:
+            assert state.get(k) == v
+    assert table.check_count()
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(at=st.integers(1, 8), sched=st.integers(0, 2**18))
+def test_group_update_crash_fuzz(at, sched):
+    """8-byte values: update is a single atomic word — crash-safe with
+    no log at all."""
+    fuzz_update_crash("group", logged=False, at_event=at, schedule_seed=sched)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(at=st.integers(1, 12), sched=st.integers(0, 2**18))
+def test_logged_linear_update_crash_fuzz(at, sched):
+    fuzz_update_crash("linear", logged=True, at_event=at, schedule_seed=sched)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(at=st.integers(1, 12), sched=st.integers(0, 2**18))
+def test_level_update_crash_fuzz(at, sched):
+    """Level hashing inherits the same single-word update atomicity."""
+    fuzz_update_crash("level", logged=False, at_event=at, schedule_seed=sched)

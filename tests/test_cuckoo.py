@@ -1,0 +1,98 @@
+"""Tests for classic cuckoo hashing (the cascade ablation scheme)."""
+
+import pytest
+
+from tests.conftest import random_items, small_region
+
+from repro import CuckooHashTable, PFHTTable
+
+
+def build(n_cells=256, max_kicks=64, seed=1):
+    region = small_region()
+    return region, CuckooHashTable(region, n_cells, max_kicks=max_kicks, seed=seed)
+
+
+def test_basic_crud():
+    _, table = build()
+    items = random_items(120, seed=1)
+    accepted = [(k, v) for k, v in items if table.insert(k, v)]
+    assert len(accepted) >= 110  # cuckoo reaches ~50% at 1-cell buckets
+    for k, v in accepted:
+        assert table.query(k) == v
+    for k, _ in accepted[::2]:
+        assert table.delete(k)
+    assert table.check_count()
+
+
+def test_eviction_chain_relocates_items():
+    region, table = build(n_cells=16)
+    accepted = []
+    for k, v in random_items(64, seed=2):
+        if table.insert(k, v):
+            accepted.append((k, v))
+    # with 1-cell buckets insertion pressure forces displacement chains;
+    # every accepted item must still be reachable afterwards
+    for k, v in accepted:
+        assert table.query(k) == v
+
+
+def test_failed_chain_rolls_back():
+    """A max_kicks overflow must leave the table exactly as it was."""
+    _, table = build(n_cells=16, max_kicks=4)
+    accepted = {}
+    rejected = 0
+    for k, v in random_items(200, seed=3):
+        before = dict(table.items())
+        if table.insert(k, v):
+            accepted[k] = v
+        else:
+            rejected += 1
+            assert dict(table.items()) == before  # untouched on failure
+    assert rejected > 0
+    assert dict(table.items()) == accepted
+    assert table.check_count()
+
+
+def test_cascades_cost_more_writes_than_pfht():
+    """The reason PFHT exists (paper Section 4.1): classic cuckoo's
+    eviction chains write many cells per insert; PFHT bounds it at one
+    displacement."""
+    region_c = small_region()
+    cuckoo = CuckooHashTable(region_c, 256, seed=7)
+    region_p = small_region()
+    pfht = PFHTTable(region_p, 256, seed=7)
+    items = random_items(115, seed=4)  # ~45% load: chains start forming
+    worst_cuckoo = worst_pfht = 0
+    for k, v in items:
+        before = region_c.stats.writes
+        cuckoo.insert(k, v)
+        worst_cuckoo = max(worst_cuckoo, region_c.stats.writes - before)
+        before = region_p.stats.writes
+        pfht.insert(k, v)
+        worst_pfht = max(worst_pfht, region_p.stats.writes - before)
+    assert worst_pfht <= 7  # bounded: one displacement
+    assert worst_cuckoo > worst_pfht  # unbounded chains observed
+
+
+def test_max_kicks_validation():
+    region = small_region()
+    with pytest.raises(ValueError):
+        CuckooHashTable(region, 64, max_kicks=0)
+
+
+def test_first_failure_load_beats_two_choice():
+    """Eviction is what 2-choice lacks: with the same two hash
+    functions, cuckoo's first insertion failure arrives at a far higher
+    load factor (classic threshold ≈ 0.5 vs 2-choice's ≈ 0.1)."""
+    from repro import TwoChoiceTable
+
+    def first_failure_load(table):
+        for k, v in random_items(600, seed=6):
+            if not table.insert(k, v):
+                return table.load_factor
+        pytest.fail("table never rejected an insert")
+
+    cuckoo_load = first_failure_load(CuckooHashTable(small_region(), 256, seed=5))
+    two_load = first_failure_load(TwoChoiceTable(small_region(), 256, seed=5))
+    assert cuckoo_load > 2 * two_load
+    assert cuckoo_load > 0.35

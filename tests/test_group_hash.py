@@ -1,0 +1,214 @@
+"""Scheme-specific tests for group hashing (Algorithms 1-3, group
+sharing, the 8-byte atomic commit discipline)."""
+
+import pytest
+
+from tests.conftest import random_items, small_region
+
+from repro import GroupHashTable, ItemSpec, UndoLog
+
+
+def build(n_cells=512, group_size=32, seed=1, **kw):
+    region = small_region()
+    return region, GroupHashTable(
+        region, n_cells, group_size=group_size, seed=seed, **kw
+    )
+
+
+def key_for_slot(table, slot, avoid=()):
+    i = 0
+    while True:
+        key = i.to_bytes(8, "little")
+        if key not in avoid and table.layout.slot(table._hashes[0](key)) == slot:
+            return key
+        i += 1
+
+
+# ------------------------------------------------------------ structure
+
+
+def test_two_equal_levels():
+    _, table = build(512, 32)
+    assert table.layout.n_cells_level == 256
+    assert table.capacity == 512
+
+
+def test_constructor_validation():
+    region = small_region()
+    with pytest.raises(ValueError):
+        GroupHashTable(region, 511)  # odd
+    with pytest.raises(ValueError):
+        GroupHashTable(region, 512, group_size=100)  # doesn't divide 256
+    with pytest.raises(ValueError):
+        GroupHashTable(region, 512, group_size=32, n_hash_functions=0)
+
+
+def test_rejects_undo_log():
+    region = small_region()
+    log = UndoLog(region, record_size=32, capacity=8)
+    with pytest.raises(ValueError):
+        GroupHashTable(region, 512, log=log)
+
+
+def test_global_info_block_contents():
+    region, table = build(512, 32)
+    # Figure 4: count | group_size | table_size live in the info block
+    assert region.read_u64(table._info_addr + 24) == 32
+    assert region.read_u64(table._info_addr + 32) == 256
+
+
+# ----------------------------------------------------------- algorithms
+
+
+def test_insert_prefers_level1_home_cell():
+    region, table = build()
+    key = key_for_slot(table, 17)
+    table.insert(key, b"v" * 8)
+    addr = table.layout.tab1_addr(table.codec, 17)
+    assert table.codec.read_key(region, addr) == key
+
+
+def test_collision_spills_into_matched_level2_group():
+    region, table = build(512, 32)
+    k1 = key_for_slot(table, 40)
+    k2 = key_for_slot(table, 40, avoid={k1})
+    table.insert(k1, b"a" * 8)
+    table.insert(k2, b"b" * 8)
+    # k2 must be in level-2 group 40//32 = 1, at its first empty cell
+    group_start = table.layout.group_start(40)
+    assert group_start == 32
+    addr = table.layout.tab2_addr(table.codec, 32)
+    assert table.codec.read_key(region, addr) == k2
+    assert table.query(k2) == b"b" * 8
+
+
+def test_level2_fills_in_scan_order():
+    region, table = build(512, 32)
+    base = key_for_slot(table, 70)
+    spill = []
+    avoid = {base}
+    for _ in range(3):
+        k = key_for_slot(table, 70, avoid=avoid)
+        avoid.add(k)
+        spill.append(k)
+    table.insert(base, b"0" * 8)
+    for i, k in enumerate(spill):
+        table.insert(k, bytes([i + 1]) * 8)
+    start = table.layout.group_start(70)
+    for i, k in enumerate(spill):
+        addr = table.layout.tab2_addr(table.codec, start + i)
+        assert table.codec.read_key(region, addr) == k
+
+
+def test_group_full_insert_fails():
+    _, table = build(128, 8)  # level = 64, groups of 8
+    target_slot = 9
+    keys = [key_for_slot(table, target_slot)]
+    # same slot → same group; 1 (level1) + 8 (group) fit, 10th fails
+    while len(keys) < 10:
+        keys.append(key_for_slot(table, target_slot, avoid=set(keys)))
+    results = [table.insert(k, b"v" * 8) for k in keys]
+    assert results == [True] * 9 + [False]
+
+
+def test_overflow_only_into_own_group():
+    """Group sharing is strict: a full group fails even when other
+    groups are empty (the utilization price measured in Figure 7)."""
+    _, table = build(128, 8)
+    keys = []
+    while len(keys) < 10:
+        keys.append(key_for_slot(table, 9, avoid=set(keys)))
+    for k in keys[:9]:
+        table.insert(k, b"v" * 8)
+    assert not table.insert(keys[9], b"v" * 8)
+    # a key homed in a different group still inserts fine
+    other = key_for_slot(table, 50, avoid=set(keys))
+    assert table.insert(other, b"v" * 8)
+
+
+def test_delete_from_level1_and_level2():
+    _, table = build()
+    k1 = key_for_slot(table, 100)
+    k2 = key_for_slot(table, 100, avoid={k1})
+    table.insert(k1, b"a" * 8)
+    table.insert(k2, b"b" * 8)
+    assert table.delete(k2)  # lives in level 2
+    assert table.query(k2) is None
+    assert table.query(k1) == b"a" * 8
+    assert table.delete(k1)  # lives in level 1
+    assert table.count == 0
+
+
+def test_delete_clears_kv_field():
+    """Algorithm 3 + recovery contract: a deleted cell's key/value field
+    is zeroed, so recovery can distinguish garbage from clean cells."""
+    region, table = build()
+    key = key_for_slot(table, 5)
+    table.insert(key, b"v" * 8)
+    addr = table.layout.tab1_addr(table.codec, 5)
+    table.delete(key)
+    assert region.peek_volatile(addr + 8, 16) == bytes(16)
+
+
+def test_commit_ordering_insert():
+    """Algorithm 1's persist ordering: the kv field must be persistent
+    *before* the bitmap flips. We check the weaker observable: right
+    after insert, both are persistent and the cell is committed."""
+    region, table = build()
+    key = key_for_slot(table, 8)
+    table.insert(key, b"v" * 8)
+    addr = table.layout.tab1_addr(table.codec, 8)
+    assert region.peek_persistent(addr + 8, 8) == key
+    assert region.peek_persistent(addr, 1)[0] & 1 == 1
+
+
+def test_level_occupancy_diagnostic():
+    _, table = build(512, 32)
+    for k, v in random_items(100, seed=2):
+        table.insert(k, v)
+    l1, l2 = table.level_occupancy()
+    assert l1 + l2 == 100
+    assert l1 > l2  # level 1 absorbs most items below half-full
+
+
+def test_group_fill_diagnostic():
+    _, table = build(128, 8)
+    keys = []
+    while len(keys) < 4:
+        keys.append(key_for_slot(table, 9, avoid=set(keys)))
+    for k in keys:
+        table.insert(k, b"v" * 8)
+    assert table.group_fill(1) == 3  # 1 in level 1, 3 spilled to group 1
+
+
+def test_two_hash_mode_improves_reach():
+    """n_hash_functions=2 (Section 4.4 ablation): a key whose first
+    group is full can still land via its second hash."""
+    _, one = build(128, 8, n_hash_functions=1)
+    _, two = build(128, 8, n_hash_functions=2)
+    keys = []
+    while len(keys) < 12:
+        keys.append(key_for_slot(one, 9, avoid=set(keys)))
+    accepted_one = sum(one.insert(k, b"v" * 8) for k in keys)
+    accepted_two = sum(two.insert(k, b"v" * 8) for k in keys)
+    assert accepted_two >= accepted_one
+
+
+def test_wide_items():
+    region = small_region()
+    table = GroupHashTable(region, 256, ItemSpec(16, 16), group_size=16)
+    items = random_items(100, seed=3, spec=ItemSpec(16, 16))
+    accepted = [(k, v) for k, v in items if table.insert(k, v)]
+    assert len(accepted) >= 90
+    for k, v in accepted:
+        assert table.query(k) == v
+
+
+def test_insert_flush_budget():
+    """The headline write-efficiency claim: an uncontended insert costs
+    exactly 3 flushes (kv, bitmap, count) — no log writes, no CoW."""
+    region, table = build()
+    key = key_for_slot(table, 33)
+    flushes = region.stats.flushes
+    table.insert(key, b"v" * 8)
+    assert region.stats.flushes - flushes == 3

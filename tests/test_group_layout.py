@@ -1,0 +1,66 @@
+"""Unit tests for GroupLayout (Figure 3/4 address map)."""
+
+import pytest
+
+from repro import CellCodec, GroupLayout, ItemSpec
+
+
+def layout(n=256, g=32):
+    return GroupLayout(n_cells_level=n, group_size=g, tab1_base=0, tab2_base=10_000)
+
+
+def test_group_count_and_totals():
+    l = layout(256, 32)
+    assert l.n_groups == 8
+    assert l.total_cells == 512
+
+
+def test_group_size_must_divide_level():
+    with pytest.raises(ValueError):
+        GroupLayout(n_cells_level=100, group_size=32, tab1_base=0, tab2_base=1)
+
+
+def test_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        GroupLayout(n_cells_level=0, group_size=1, tab1_base=0, tab2_base=1)
+    with pytest.raises(ValueError):
+        GroupLayout(n_cells_level=8, group_size=0, tab1_base=0, tab2_base=1)
+
+
+def test_slot_wraps_hash():
+    l = layout(256, 32)
+    assert l.slot(256) == 0
+    assert l.slot(300) == 44
+
+
+def test_group_start_matches_paper_formula():
+    """j = k - k % group_size (Algorithm 1, line 13)."""
+    l = layout(256, 32)
+    for k in (0, 1, 31, 32, 63, 255):
+        assert l.group_start(k) == k - k % 32
+        assert l.group_of(k) == k // 32
+
+
+def test_matched_groups_have_same_number():
+    """Figure 3: level-1 group g overflows into level-2 group g."""
+    l = layout(256, 4)
+    # paper example: cell index 5 → level-2 cells [4, 7]
+    k = 5
+    start = l.group_start(k)
+    assert start == 4
+    assert [start + i for i in range(4)] == [4, 5, 6, 7]
+
+
+def test_addresses_are_contiguous_within_group():
+    l = layout(256, 32)
+    codec = CellCodec(ItemSpec())
+    addrs = [l.tab2_addr(codec, i) for i in range(32)]
+    deltas = {b - a for a, b in zip(addrs, addrs[1:])}
+    assert deltas == {codec.cell_size}
+
+
+def test_tab1_tab2_disjoint():
+    l = layout(256, 32)
+    codec = CellCodec(ItemSpec())
+    end_tab1 = l.tab1_addr(codec, 255) + codec.cell_size
+    assert end_tab1 <= l.tab2_addr(codec, 0)

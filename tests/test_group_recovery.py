@@ -1,0 +1,166 @@
+"""Tests for Algorithm 4 — group hashing's crash recovery."""
+
+import pytest
+
+from tests.conftest import random_items, small_region
+
+from repro import GroupHashTable, recover_group_table
+from repro.nvm import SimulatedPowerFailure, persist_all_schedule, random_schedule
+from repro.nvm.crash import FunctionSchedule
+
+
+def build(n_cells=512, group_size=32, seed=1):
+    region = small_region()
+    return region, GroupHashTable(region, n_cells, group_size=group_size, seed=seed)
+
+
+def crash_during(region, table, op, *args, at_event=1, schedule=None):
+    """Arm a crash, run op, materialise the failure, reattach."""
+    region.arm_crash(at_event)
+    with pytest.raises(SimulatedPowerFailure):
+        op(*args)
+    report = region.crash(schedule or persist_all_schedule())
+    table.reattach()
+    return report
+
+
+def test_recovery_returns_count():
+    region, table = build()
+    items = random_items(60, seed=2)
+    for k, v in items:
+        table.insert(k, v)
+    region.crash()
+    table.reattach()
+    assert recover_group_table(table) == 60
+    assert table.count == 60
+
+
+def test_fig1_case1_crash_before_bitmap_commit():
+    """Figure 1 case 1: kv written (and persisted), crash before the
+    bitmap flips → recovery clears the orphan kv; item simply lost."""
+    region, table = build()
+    pre = random_items(20, seed=3)
+    for k, v in pre:
+        table.insert(k, v)
+    victim_key, victim_value = b"\xAB" * 8, b"\xCD" * 8
+    # events in insert: write kv(1), flush(2), fence(3), write bitmap(4)...
+    # crash at event 4 = after kv persisted, before bitmap write
+    crash_during(region, table, table.insert, victim_key, victim_value, at_event=4)
+    table.recover()
+    assert table.query(victim_key) is None
+    assert table.count == 20
+    assert table.check_count()
+    for k, v in pre:
+        assert table.query(k) == v
+    # no cell anywhere contains the orphan payload
+    for k, v in table.items():
+        assert k != victim_key
+
+
+def test_fig1_case3_torn_value_write():
+    """Figure 1 case 3: the kv write itself tears (one 8-byte word
+    persists, the other does not) → recovery resets the partial cell."""
+    region, table = build()
+    victim_key = b"\xAA" * 8
+    # crash ON the kv flush: the kv write happened (event 1), crash at
+    # event 2 (the flush), so the line is dirty and the schedule tears it
+    tear = FunctionSchedule(lambda line, offs: offs[:1])  # persist only 1 word
+    crash_during(
+        region, table, table.insert, victim_key, b"\xBB" * 8, at_event=2, schedule=tear
+    )
+    table.recover()
+    assert table.query(victim_key) is None
+    assert table.check_count()
+    # every unoccupied cell is fully zeroed after recovery
+    for addr in table._iter_cell_addrs():
+        if not region.peek_persistent(addr, 1)[0] & 1:
+            assert region.peek_persistent(addr + 8, 16) == bytes(16)
+
+
+def test_fig1_case2_count_mismatch_repaired():
+    """Figure 1 case 2: bitmap committed but count not yet incremented →
+    recovery recounts by scanning (the item IS present)."""
+    region, table = build()
+    pre = random_items(10, seed=4)
+    for k, v in pre:
+        table.insert(k, v)
+    key, value = b"\x11" * 8, b"\x22" * 8
+    # events: kv write(1) flush(2) fence(3) bitmap write(4) flush(5)
+    # fence(6) count write(7)... crash at event 7: bitmap persisted,
+    # count not updated
+    crash_during(region, table, table.insert, key, value, at_event=7)
+    assert table.persisted_count == 10  # stale
+    table.recover()
+    assert table.query(key) == value  # committed by the bitmap flip
+    assert table.count == 11
+    assert table.check_count()
+
+
+def test_delete_crash_after_bitmap_clear():
+    """Algorithm 3 ordering: bitmap cleared first. A crash between the
+    clear and the kv wipe leaves garbage that recovery resets; the
+    delete is effectively committed."""
+    region, table = build()
+    key = b"\x33" * 8
+    table.insert(key, b"\x44" * 8)
+    count_before = table.count
+    # delete events: bitmap write(1) flush(2) fence(3) kv clear(4)...
+    crash_during(region, table, table.delete, key, at_event=4)
+    table.recover()
+    assert table.query(key) is None
+    assert table.count == count_before - 1
+    assert table.check_count()
+
+
+def test_delete_crash_before_bitmap_clear_keeps_item():
+    region, table = build()
+    key = b"\x55" * 8
+    table.insert(key, b"\x66" * 8)
+    # crash at event 1 = before the bitmap write executes
+    crash_during(region, table, table.delete, key, at_event=1)
+    table.recover()
+    assert table.query(key) == b"\x66" * 8
+    assert table.count == 1
+
+
+def test_recovery_idempotent():
+    region, table = build()
+    for k, v in random_items(30, seed=5):
+        table.insert(k, v)
+    crash_during(region, table, table.insert, b"\x77" * 8, b"\x88" * 8, at_event=2)
+    table.recover()
+    state1 = sorted(table.items())
+    count1 = table.count
+    table.recover()
+    assert sorted(table.items()) == state1
+    assert table.count == count1
+
+
+def test_recovery_cost_scales_with_table_size():
+    """Table 3's shape: the recovery scan is linear in table cells."""
+    times = []
+    for n_cells in (256, 512, 1024):
+        region, table = build(n_cells=n_cells, group_size=32)
+        region.crash()
+        table.reattach()
+        before = region.stats.sim_time_ns
+        table.recover()
+        times.append(region.stats.sim_time_ns - before)
+    assert times[1] > times[0]
+    assert times[2] > times[1]
+    # roughly linear: doubling cells ~doubles time (loose bounds)
+    assert 1.5 < times[2] / times[1] < 2.8
+
+
+def test_recovery_after_clean_crash_touches_nothing():
+    """On a cleanly persisted table, recovery must not write any cell
+    (only the count field)."""
+    region, table = build()
+    for k, v in random_items(40, seed=6):
+        table.insert(k, v)
+    region.crash()
+    table.reattach()
+    writes_before = region.stats.writes
+    table.recover()
+    # only the count rewrite
+    assert region.stats.writes - writes_before <= 1

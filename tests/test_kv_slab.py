@@ -1,0 +1,121 @@
+"""Tests for the slab allocator."""
+
+import pytest
+
+from repro import NVMRegion
+from repro.kv.slab import SlabAllocator, SlabFullError
+
+
+def make(min_chunk=32, max_chunk=512, bytes_per_class=4096):
+    region = NVMRegion(1 << 20)
+    return region, SlabAllocator(
+        region,
+        min_chunk=min_chunk,
+        max_chunk=max_chunk,
+        bytes_per_class=bytes_per_class,
+    )
+
+
+def test_class_for_rounds_up_to_power_of_two():
+    _, slab = make()
+    assert slab.class_for(1) == 32
+    assert slab.class_for(32) == 32
+    assert slab.class_for(33) == 64
+    assert slab.class_for(512) == 512
+
+
+def test_class_for_rejects_oversize():
+    _, slab = make()
+    with pytest.raises(SlabFullError):
+        slab.class_for(513)
+    with pytest.raises(ValueError):
+        slab.class_for(0)
+
+
+def test_alloc_returns_distinct_aligned_chunks():
+    _, slab = make()
+    addrs = [slab.alloc(100) for _ in range(5)]
+    assert len(set(addrs)) == 5
+    deltas = {b - a for a, b in zip(addrs, addrs[1:])}
+    assert deltas == {128}  # 100 → class 128, bump allocation
+
+
+def test_alloc_costs_no_nvm_traffic():
+    region, slab = make()
+    writes = region.stats.writes
+    flushes = region.stats.flushes
+    slab.alloc(64)
+    slab.free(slab.alloc(64), 64)
+    assert region.stats.writes == writes
+    assert region.stats.flushes == flushes
+
+
+def test_free_then_alloc_reuses():
+    _, slab = make()
+    a = slab.alloc(50)
+    slab.free(a, 50)
+    assert slab.alloc(50) == a
+
+
+def test_free_validates_address():
+    _, slab = make()
+    slab.alloc(50)
+    with pytest.raises(ValueError):
+        slab.free(1, 50)  # not a chunk boundary of that class
+
+
+def test_exhaustion():
+    _, slab = make(bytes_per_class=256)  # class 256 → 1 chunk
+    slab.alloc(200)
+    with pytest.raises(SlabFullError):
+        slab.alloc(200)
+
+
+def test_classes_are_independent():
+    _, slab = make(bytes_per_class=256)
+    slab.alloc(200)  # class 256 full
+    addr = slab.alloc(30)  # class 32 unaffected (addr 0 is valid)
+    assert isinstance(addr, int) and addr >= 0
+
+
+def test_rebuild_reconstructs_state():
+    _, slab = make()
+    keep = [(slab.alloc(100), 100) for _ in range(4)]
+    leak = slab.alloc(100)  # allocated but never published
+    survivors = keep[:2] + keep[3:]  # simulate one deleted
+    slab.rebuild(survivors)
+    assert slab.allocated_chunks() == 3
+    # freed + leaked chunks are available again; live ones are not
+    available = set()
+    while True:
+        try:
+            available.add(slab.alloc(100))
+        except SlabFullError:
+            break
+    live_addrs = {addr for addr, _ in survivors}
+    assert keep[2][0] in available
+    assert leak in available
+    assert not live_addrs & available
+
+
+def test_rebuild_empty():
+    _, slab = make()
+    for _ in range(3):
+        slab.alloc(40)
+    slab.rebuild([])
+    assert slab.allocated_chunks() == 0
+
+
+def test_utilization():
+    _, slab = make(bytes_per_class=320)  # class 32 → 10 chunks
+    for _ in range(5):
+        slab.alloc(20)
+    assert slab.utilization()[32] == pytest.approx(0.5)
+
+
+def test_validation():
+    region = NVMRegion(1 << 20)
+    with pytest.raises(ValueError):
+        SlabAllocator(region, min_chunk=48)
+    with pytest.raises(ValueError):
+        SlabAllocator(region, min_chunk=512, max_chunk=64)

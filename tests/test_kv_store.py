@@ -1,0 +1,168 @@
+"""Tests for the variable-size KV store built on group hashing."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import NVMRegion, SimulatedPowerFailure, random_schedule
+from repro.kv import KVStore
+
+
+def make(n_index_cells=1 << 10, **kw) -> tuple[NVMRegion, KVStore]:
+    region = NVMRegion(8 << 20)
+    return region, KVStore(region, n_index_cells=n_index_cells, group_size=32, **kw)
+
+
+def test_put_get_roundtrip():
+    _, store = make()
+    assert store.put(b"user:42", b"Ada Lovelace")
+    assert store.get(b"user:42") == b"Ada Lovelace"
+    assert b"user:42" in store
+    assert len(store) == 1
+
+
+def test_get_missing():
+    _, store = make()
+    assert store.get(b"ghost") is None
+    assert b"ghost" not in store
+
+
+def test_variable_sizes():
+    _, store = make()
+    cases = {
+        b"tiny": b"x",
+        b"k" * 200: b"v" * 1000,
+        b"empty-value": b"",
+        b"binary": bytes(range(256)),
+    }
+    for k, v in cases.items():
+        assert store.put(k, v)
+    for k, v in cases.items():
+        assert store.get(k) == v
+
+
+def test_overwrite_returns_latest():
+    _, store = make()
+    store.put(b"key", b"v1")
+    store.put(b"key", b"v2" * 100)  # different size class
+    assert store.get(b"key") == b"v2" * 100
+    assert len(store) == 1
+
+
+def test_overwrite_frees_old_chunk():
+    _, store = make()
+    store.put(b"key", b"a" * 50)
+    chunks_before = store.slab.allocated_chunks()
+    store.put(b"key", b"b" * 50)
+    assert store.slab.allocated_chunks() == chunks_before
+
+
+def test_delete_frees_chunk():
+    _, store = make()
+    store.put(b"key", b"value")
+    assert store.delete(b"key")
+    assert store.get(b"key") is None
+    assert store.slab.allocated_chunks() == 0
+    assert not store.delete(b"key")
+
+
+def test_items_inventory():
+    _, store = make()
+    model = {f"k{i}".encode(): (f"v{i}" * (i + 1)).encode() for i in range(30)}
+    for k, v in model.items():
+        store.put(k, v)
+    assert dict(store.items()) == model
+
+
+def test_validation():
+    _, store = make()
+    with pytest.raises(ValueError):
+        store.put(b"", b"v")
+    with pytest.raises(ValueError):
+        store.put(b"k", b"v" * 10_000)
+
+
+def test_crash_before_publish_loses_only_inflight():
+    region, store = make()
+    model = {f"k{i}".encode(): f"v{i}".encode() for i in range(20)}
+    for k, v in model.items():
+        store.put(k, v)
+    region.arm_crash(3)  # inside the record persist / index insert
+    try:
+        store.put(b"inflight", b"payload")
+    except SimulatedPowerFailure:
+        pass
+    region.crash(random_schedule(5))
+    store.recover()
+    state = dict(store.items())
+    assert state.get(b"inflight") in (None, b"payload")
+    for k, v in model.items():
+        assert state[k] == v
+
+
+def test_recover_reclaims_leaked_chunks():
+    region, store = make()
+    store.put(b"stable", b"here")
+    chunks = store.slab.allocated_chunks()
+    region.arm_crash(3)
+    try:
+        store.put(b"leak", b"x" * 100)
+    except SimulatedPowerFailure:
+        pass
+    region.crash()
+    store.recover()
+    if store.get(b"leak") is None:
+        assert store.slab.allocated_chunks() == chunks
+    assert store.get(b"stable") == b"here"
+
+
+def test_crash_fuzz_many_points():
+    """Crash a put at every early event offset; the store must always
+    recover with committed data intact and the in-flight put atomic."""
+    for at in range(1, 12):
+        region, store = make()
+        base = {f"b{i}".encode(): f"w{i}".encode() for i in range(10)}
+        for k, v in base.items():
+            store.put(k, v)
+        region.arm_crash(at)
+        completed = False
+        try:
+            store.put(b"new", b"n" * 40)
+            completed = True
+            region.disarm_crash()
+        except SimulatedPowerFailure:
+            region.crash(random_schedule(at))
+            store.recover()
+        state = dict(store.items())
+        for k, v in base.items():
+            assert state[k] == v, f"lost committed key at event {at}"
+        assert state.get(b"new") in (None, b"n" * 40)
+        if completed:
+            assert state[b"new"] == b"n" * 40
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "get", "delete"]),
+            st.binary(min_size=1, max_size=24),
+            st.binary(max_size=200),
+        ),
+        max_size=40,
+    )
+)
+def test_matches_dict_model(ops):
+    _, store = make()
+    model: dict[bytes, bytes] = {}
+    for op, key, value in ops:
+        if op == "put":
+            if store.put(key, value):
+                model[key] = value
+        elif op == "get":
+            assert store.get(key) == model.get(key)
+        else:
+            assert store.delete(key) == (key in model)
+            model.pop(key, None)
+    assert dict(store.items()) == model
+    assert store.slab.allocated_chunks() == len(model)

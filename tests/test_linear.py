@@ -1,0 +1,166 @@
+"""Scheme-specific tests for linear probing (probe order, backward-shift
+deletion, cluster behaviour)."""
+
+import pytest
+
+from tests.conftest import random_items, small_region
+
+from repro import ItemSpec, LinearProbingTable, NVMRegion
+
+
+def build(n_cells=64, seed=1):
+    region = small_region()
+    return region, LinearProbingTable(region, n_cells, seed=seed)
+
+
+def slot_of(table, key):
+    return table._slot(key)
+
+
+def key_for_slot(table, slot, avoid=()):
+    """Find a key hashing to ``slot`` (brute force over small tables)."""
+    i = 0
+    while True:
+        key = i.to_bytes(8, "little")
+        if key not in avoid and slot_of(table, key) == slot:
+            return key
+        i += 1
+
+
+def test_collision_goes_to_next_cell():
+    region, table = build()
+    k1 = key_for_slot(table, 10)
+    k2 = key_for_slot(table, 10, avoid={k1})
+    table.insert(k1, b"v" * 8)
+    table.insert(k2, b"w" * 8)
+    codec = table.codec
+    assert codec.read_key(region, table._addr(10)) == k1
+    assert codec.read_key(region, table._addr(11)) == k2
+
+
+def test_probe_wraps_around_table_end():
+    region, table = build()
+    last = table.n_cells - 1
+    k1 = key_for_slot(table, last)
+    k2 = key_for_slot(table, last, avoid={k1})
+    table.insert(k1, b"v" * 8)
+    table.insert(k2, b"w" * 8)
+    assert table.codec.read_key(region, table._addr(0)) == k2
+    assert table.query(k2) == b"w" * 8
+
+
+def test_backward_shift_fills_hole():
+    """Deleting the head of a cluster must pull displaced items back so
+    later probes still find them (no tombstones)."""
+    region, table = build()
+    keys = [key_for_slot(table, 5)]
+    for _ in range(3):
+        keys.append(key_for_slot(table, 5, avoid=set(keys)))
+    for i, k in enumerate(keys):
+        table.insert(k, bytes([i]) * 8)
+    # cluster occupies cells 5..8
+    assert table.delete(keys[0])
+    # survivors must all be findable
+    for i, k in enumerate(keys[1:], start=1):
+        assert table.query(k) == bytes([i]) * 8
+    # the cluster compacted: cell 8 is now empty
+    assert not table.codec.is_occupied(region, table._addr(8))
+
+
+def test_backward_shift_respects_home_slots():
+    """An item whose home slot is *after* the hole must not be moved
+    (the (j - home) % n >= (j - hole) % n condition)."""
+    region, table = build()
+    k5 = key_for_slot(table, 5)
+    k6 = key_for_slot(table, 6, avoid={k5})
+    table.insert(k5, b"a" * 8)
+    table.insert(k6, b"b" * 8)  # sits in its own home slot 6
+    table.delete(k5)
+    # k6 must NOT have been pulled into slot 5
+    assert table.codec.read_key(region, table._addr(6)) == k6
+    assert table.query(k6) == b"b" * 8
+
+
+def test_backward_shift_chain_across_multiple_moves():
+    region, table = build()
+    ks = [key_for_slot(table, 3)]
+    for _ in range(5):
+        ks.append(key_for_slot(table, 3, avoid=set(ks)))
+    for k in ks:
+        table.insert(k, b"x" * 8)
+    # delete middle of cluster repeatedly; invariant: all others findable
+    table.delete(ks[2])
+    table.delete(ks[4])
+    for k in (ks[0], ks[1], ks[3], ks[5]):
+        assert table.query(k) == b"x" * 8
+    assert table.count == 4
+
+
+def test_delete_costs_more_writes_than_insert_in_cluster():
+    """The paper's 'complicated delete process': deleting from a cluster
+    rewrites cells, so flush counts exceed a plain insert's."""
+    region, table = build(n_cells=128)
+    ks = [key_for_slot(table, 7)]
+    for _ in range(7):
+        ks.append(key_for_slot(table, 7, avoid=set(ks)))
+    for k in ks:
+        table.insert(k, b"x" * 8)
+    flushes_before = region.stats.flushes
+    table.delete(ks[0])  # head of an 8-cluster: 7 shifts
+    delete_flushes = region.stats.flushes - flushes_before
+    flushes_before = region.stats.flushes
+    table.insert(key_for_slot(table, 90, avoid=set(ks)), b"y" * 8)
+    insert_flushes = region.stats.flushes - flushes_before
+    assert delete_flushes > insert_flushes
+
+
+def test_query_stops_at_empty_cell():
+    region, table = build()
+    k = key_for_slot(table, 20)
+    absent = key_for_slot(table, 20, avoid={k})
+    table.insert(k, b"v" * 8)
+    reads_before = region.stats.reads
+    assert table.query(absent) is None
+    # probes: cell 20 (mismatch), cell 21 (empty) → 2 probe reads
+    assert region.stats.reads - reads_before <= 3
+
+
+def test_fills_to_capacity():
+    _, table = build(n_cells=32)
+    items = random_items(32, seed=3)
+    for k, v in items:
+        assert table.insert(k, v)
+    assert table.count == 32
+    assert table.load_factor == 1.0
+    # one more must fail, not loop forever
+    assert not table.insert(b"overflow", b"v" * 8)
+
+
+def test_delete_from_completely_full_table_terminates():
+    """Regression: backward-shift deletion has no empty cell to stop at
+    when the table is at load factor 1.0 — the walk must bound itself to
+    one cycle instead of spinning forever, and every remaining item must
+    stay findable."""
+    _, table = build(n_cells=16)
+    items = random_items(16, seed=9)
+    for k, v in items:
+        assert table.insert(k, v)
+    assert table.load_factor == 1.0
+    assert table.delete(items[0][0])  # must return, not hang
+    assert table.count == 15
+    for k, v in items[1:]:
+        assert table.query(k) == v
+    # and keep deleting all the way down
+    for k, _ in items[1:]:
+        assert table.delete(k)
+    assert table.count == 0
+
+
+def test_wide_items():
+    region = small_region()
+    table = LinearProbingTable(region, 64, ItemSpec(16, 16))
+    items = random_items(30, seed=4, spec=ItemSpec(16, 16))
+    for k, v in items:
+        assert table.insert(k, v)
+    for k, v in items:
+        assert table.query(k) == v

@@ -1,0 +1,146 @@
+"""Scheme-specific tests for PFHT (buckets, single displacement, stash)."""
+
+import pytest
+
+from tests.conftest import random_items, small_region
+
+from repro import PFHTTable
+
+
+def build(n_cells=64, bucket_size=4, stash_fraction=0.05, seed=1):
+    region = small_region()
+    return region, PFHTTable(
+        region,
+        n_cells,
+        bucket_size=bucket_size,
+        stash_fraction=stash_fraction,
+        seed=seed,
+    )
+
+
+def keys_for_buckets(table, b1, b2=None, avoid=(), limit=10**6):
+    """Brute-force keys whose (h1, h2) buckets match."""
+    out = []
+    for i in range(limit):
+        key = i.to_bytes(8, "little")
+        if key in avoid:
+            continue
+        kb1, kb2 = table._buckets_of(key)
+        if kb1 == b1 and (b2 is None or kb2 == b2):
+            out.append(key)
+            if len(out) >= 12:
+                return out
+    return out
+
+
+def test_geometry():
+    _, table = build(n_cells=64, bucket_size=4)
+    assert table.n_buckets == 16
+    assert table.stash_cells == max(1, round(64 * 0.05))
+    assert table.capacity == 64 + table.stash_cells
+
+
+def test_insert_prefers_first_bucket():
+    region, table = build()
+    key = b"\x01" * 8
+    b1, _ = table._buckets_of(key)
+    table.insert(key, b"v" * 8)
+    found = False
+    for slot in range(table.bucket_size):
+        occ, k = table.codec.probe(region, table._cell_addr(b1, slot))
+        found |= occ and k == key
+    assert found
+
+
+def test_bucket_overflow_goes_to_second_bucket():
+    region, table = build()
+    target = b"\x07" * 8
+    b1, b2 = table._buckets_of(target)
+    if b1 == b2:
+        pytest.skip("degenerate key (both hashes equal) for this seed")
+    # fill bucket b1 with keys homed there
+    fillers = keys_for_buckets(table, b1, avoid={target})[: table.bucket_size]
+    assert len(fillers) == table.bucket_size
+    for k in fillers:
+        assert table.insert(k, b"f" * 8)
+    assert table.insert(target, b"v" * 8)
+    in_b2 = any(
+        table.codec.probe(region, table._cell_addr(b2, s)) == (True, target)
+        for s in range(table.bucket_size)
+    )
+    assert in_b2 or table.query(target) == b"v" * 8
+
+
+def test_query_checks_both_buckets_and_stash():
+    _, table = build()
+    items = random_items(40, seed=2)
+    for k, v in items:
+        assert table.insert(k, v)
+    for k, v in items:
+        assert table.query(k) == v
+
+
+def test_stash_used_when_buckets_full():
+    """Cram items until the stash holds something, then verify lookups."""
+    _, table = build(n_cells=32, stash_fraction=0.25)
+    inserted = []
+    for k, v in random_items(200, seed=3):
+        if not table.insert(k, v):
+            break
+        inserted.append((k, v))
+    assert table.stash_occupancy() > 0
+    for k, v in inserted:
+        assert table.query(k) == v
+
+
+def test_displacement_moves_at_most_one_item():
+    """PFHT's defining bound: one insert relocates at most one existing
+    item (no cuckoo cascades). We verify via write accounting: an insert
+    writes at most 2 cells' key-value fields."""
+    region, table = build(n_cells=64)
+    max_kv_writes = 0
+    for k, v in random_items(60, seed=4):
+        writes_before = region.stats.writes
+        if not table.insert(k, v):
+            break
+        # one displacement = _relocate (4 writes) + _install (3 writes);
+        # a cuckoo cascade of two displacements would need ≥ 11
+        max_kv_writes = max(max_kv_writes, region.stats.writes - writes_before)
+    assert max_kv_writes <= 7
+
+
+def test_delete_from_stash():
+    _, table = build(n_cells=32, stash_fraction=0.25)
+    inserted = []
+    for k, v in random_items(200, seed=5):
+        if not table.insert(k, v):
+            break
+        inserted.append((k, v))
+    assert table.stash_occupancy() > 0
+    # delete everything; stash entries must be deletable too
+    for k, _ in inserted:
+        assert table.delete(k)
+    assert table.count == 0
+    assert table.stash_occupancy() == 0
+
+
+def test_insert_fails_when_everything_full():
+    _, table = build(n_cells=16, stash_fraction=0.1)
+    accepted = 0
+    for k, v in random_items(400, seed=6):
+        if table.insert(k, v):
+            accepted += 1
+    assert accepted < 400
+    assert accepted == table.count
+
+
+def test_stash_fraction_of_paper():
+    """Paper setting: 3% stash."""
+    _, table = build(n_cells=1024, stash_fraction=0.03)
+    assert table.stash_cells == round(1024 * 0.03)
+
+
+def test_rejects_bad_bucket_size():
+    region = small_region()
+    with pytest.raises(ValueError):
+        PFHTTable(region, 64, bucket_size=0)

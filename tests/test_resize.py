@@ -1,0 +1,119 @@
+"""Tests for the table-expansion extension (core/resize.py)."""
+
+import pytest
+
+from tests.conftest import random_items, small_region
+
+from repro import (
+    ExpansionError,
+    GroupHashTable,
+    ItemSpec,
+    NVMRegion,
+    expand_group_table,
+    insert_with_expansion,
+)
+
+
+def build(n_cells=128, group_size=8):
+    region = small_region()
+    return region, GroupHashTable(region, n_cells, group_size=group_size)
+
+
+def test_expand_preserves_all_items():
+    region, table = build()
+    items = random_items(80, seed=1)
+    accepted = {k: v for k, v in items if table.insert(k, v)}
+    bigger = expand_group_table(table)
+    assert bigger.capacity == 2 * table.capacity
+    assert bigger.count == len(accepted)
+    for k, v in accepted.items():
+        assert bigger.query(k) == v
+    assert bigger.check_count()
+
+
+def test_expand_leaves_old_table_intact():
+    region, table = build()
+    items = {k: v for k, v in random_items(50, seed=2)}
+    for k, v in items.items():
+        table.insert(k, v)
+    expand_group_table(table)
+    assert dict(table.items()) == items  # untouched
+
+
+def test_expand_into_fresh_region():
+    _, table = build()
+    for k, v in random_items(50, seed=3):
+        table.insert(k, v)
+    fresh = NVMRegion(4 << 20)
+    bigger = expand_group_table(table, region=fresh)
+    assert bigger.region is fresh
+    assert bigger.count == table.count
+
+
+def test_expand_unclogs_a_full_group():
+    """The paper's trigger: insert fails when one group fills. After
+    expansion the same key inserts."""
+    _, table = build(n_cells=64, group_size=4)
+
+    def key_for_slot(slot, avoid=()):
+        i = 0
+        while True:
+            key = i.to_bytes(8, "little")
+            if key not in avoid and table.layout.slot(table._hashes[0](key)) == slot:
+                return key
+            i += 1
+
+    keys = [key_for_slot(5)]
+    while len(keys) < 6:
+        keys.append(key_for_slot(5, avoid=set(keys)))
+    for k in keys[:5]:  # home cell + 4-cell group: full
+        assert table.insert(k, b"v" * 8)
+    assert not table.insert(keys[5], b"v" * 8)
+    bigger = expand_group_table(table)
+    assert bigger.insert(keys[5], b"v" * 8)
+    for k in keys:
+        assert bigger.query(k) == b"v" * 8
+
+
+def test_insert_with_expansion_round_trip():
+    region, table = build(n_cells=64, group_size=4)
+    model = {}
+    for k, v in random_items(120, seed=4):
+        table, ok = insert_with_expansion(
+            table,
+            k,
+            v,
+            region_factory=lambda cells, spec: NVMRegion(8 << 20),
+        )
+        assert ok
+        model[k] = v
+    assert dict(table.items()) == model
+    assert table.capacity > 64  # must have expanded at least once
+
+
+def test_growth_factor_validation():
+    _, table = build()
+    with pytest.raises(ValueError):
+        expand_group_table(table, growth_factor=1)
+
+
+def test_expansion_error_when_region_too_small():
+    region = NVMRegion(64 * 1024)
+    table = GroupHashTable(region, 1024, ItemSpec(), group_size=32)
+    # same region cannot hold another 2048-cell table
+    with pytest.raises(ExpansionError):
+        expand_group_table(table)
+
+
+def test_expanded_table_survives_crash():
+    region, table = build()
+    for k, v in random_items(60, seed=5):
+        table.insert(k, v)
+    fresh = NVMRegion(4 << 20)
+    bigger = expand_group_table(table, region=fresh)
+    snapshot = dict(bigger.items())
+    fresh.crash()
+    bigger.reattach()
+    bigger.recover()
+    assert dict(bigger.items()) == snapshot
+    assert bigger.check_count()

@@ -1,0 +1,76 @@
+"""Unit tests for repro.nvm.stats."""
+
+import pytest
+
+from repro.nvm.stats import MemStats
+
+
+def test_fresh_stats_are_zero():
+    stats = MemStats()
+    assert stats.reads == 0
+    assert stats.writes == 0
+    assert stats.sim_time_ns == 0.0
+    assert stats.accesses == 0
+
+
+def test_snapshot_is_independent_copy():
+    stats = MemStats()
+    snap = stats.snapshot()
+    stats.reads += 5
+    stats.sim_time_ns += 10.0
+    assert snap.reads == 0
+    assert snap.sim_time_ns == 0.0
+
+
+def test_delta_subtracts_every_field():
+    stats = MemStats()
+    stats.reads = 10
+    stats.flushes = 4
+    stats.sim_time_ns = 100.0
+    earlier = stats.snapshot()
+    stats.reads = 17
+    stats.flushes = 9
+    stats.sim_time_ns = 250.0
+    delta = stats.delta(earlier)
+    assert delta.reads == 7
+    assert delta.flushes == 5
+    assert delta.sim_time_ns == 150.0
+
+
+def test_merged_adds_every_field():
+    a = MemStats(reads=3, writes=2, sim_time_ns=1.5)
+    b = MemStats(reads=4, writes=5, sim_time_ns=2.5)
+    merged = a.merged(b)
+    assert merged.reads == 7
+    assert merged.writes == 7
+    assert merged.sim_time_ns == 4.0
+    # inputs untouched
+    assert a.reads == 3 and b.reads == 4
+
+
+def test_miss_ratio():
+    stats = MemStats(cache_hits=3, cache_misses=1)
+    assert stats.miss_ratio == pytest.approx(0.25)
+
+
+def test_miss_ratio_idle_is_zero():
+    assert MemStats().miss_ratio == 0.0
+
+
+def test_accesses_sums_reads_and_writes():
+    assert MemStats(reads=2, writes=3).accesses == 5
+
+
+def test_reset_zeroes_in_place():
+    stats = MemStats(reads=5, sim_time_ns=9.0)
+    stats.reset()
+    assert stats.reads == 0
+    assert stats.sim_time_ns == 0.0
+
+
+def test_as_dict_roundtrip():
+    stats = MemStats(reads=1, flushes=2)
+    d = stats.as_dict()
+    assert d["reads"] == 1
+    assert d["flushes"] == 2
+    assert set(d) >= {"reads", "writes", "cache_misses", "sim_time_ns"}

@@ -1,0 +1,111 @@
+"""Tests for trace file I/O (real-dataset plumbing)."""
+
+import gzip
+
+import pytest
+
+from repro.traces import BagOfWordsTrace, FingerprintTrace
+from repro.traces.io import (
+    FileTrace,
+    load_docword,
+    load_fingerprints,
+    save_docword,
+    save_fingerprints,
+)
+
+
+def test_docword_roundtrip(tmp_path):
+    original = BagOfWordsTrace(seed=1).items(500)
+    path = tmp_path / "docword.test.txt"
+    save_docword(path, original)
+    trace = load_docword(path)
+    assert trace.items(500) == original
+    assert trace.spec.item_size == 16
+    assert len(trace) == 500
+
+
+def test_docword_gzip(tmp_path):
+    original = BagOfWordsTrace(seed=2).items(100)
+    plain = tmp_path / "docword.test.txt"
+    save_docword(plain, original)
+    gz = tmp_path / "docword.test.txt.gz"
+    gz.write_bytes(gzip.compress(plain.read_bytes()))
+    assert load_docword(gz).items(100) == original
+
+
+def test_docword_limit(tmp_path):
+    original = BagOfWordsTrace(seed=3).items(200)
+    path = tmp_path / "docword.test.txt"
+    save_docword(path, original)
+    trace = load_docword(path, limit=50)
+    assert len(trace) == 50
+
+
+def test_docword_validates_header(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("not-a-number\n")
+    with pytest.raises(ValueError, match="bad header"):
+        load_docword(path)
+
+
+def test_docword_validates_row_count(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("5\n5\n3\n1 1 1\n")  # declares 3 rows, has 1
+    with pytest.raises(ValueError, match="declares 3 rows"):
+        load_docword(path)
+
+
+def test_docword_validates_ranges(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("5\n5\n1\n9 1 1\n")  # doc 9 > declared 5
+    with pytest.raises(ValueError, match="out of declared range"):
+        load_docword(path)
+
+
+def test_fingerprints_roundtrip(tmp_path):
+    original = FingerprintTrace(seed=1).items(300)
+    path = tmp_path / "prints.txt"
+    save_fingerprints(path, original)
+    trace = load_fingerprints(path)
+    assert trace.items(300) == original
+    assert trace.spec.item_size == 32
+
+
+def test_fingerprints_digest_only(tmp_path):
+    path = tmp_path / "prints.txt"
+    path.write_text("00112233445566778899aabbccddeeff\n")
+    trace = load_fingerprints(path)
+    key, value = trace.items(1)[0]
+    assert key == bytes.fromhex("00112233445566778899aabbccddeeff")
+    assert value == bytes(16)
+
+
+def test_fingerprints_validate_hex(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("zz112233445566778899aabbccddeeff\n")
+    with pytest.raises(ValueError, match="bad hex"):
+        load_fingerprints(path)
+    path.write_text("0011\n")
+    with pytest.raises(ValueError, match="32 hex chars"):
+        load_fingerprints(path)
+
+
+def test_file_trace_drives_a_table(tmp_path):
+    """End-to-end: a loaded trace file fills a hash table."""
+    from repro import GroupHashTable, NVMRegion
+
+    path = tmp_path / "prints.txt"
+    save_fingerprints(path, FingerprintTrace(seed=4).items(200))
+    trace = load_fingerprints(path)
+    region = NVMRegion(4 << 20)
+    table = GroupHashTable(region, 1024, trace.spec, group_size=32)
+    for k, v in trace.items(200):
+        assert table.insert(k, v)
+    assert table.count == 200
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.txt"
+    path.write_text("")
+    with pytest.raises(ValueError):
+        load_fingerprints(path)

@@ -1,0 +1,145 @@
+"""Tests for the workload traces (Section 4.1 equivalents)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.traces import (
+    TRACES,
+    BagOfWordsTrace,
+    FingerprintTrace,
+    RandomNumTrace,
+)
+from repro.traces.random_num import value_for_key
+
+
+def test_registry_names_match_paper():
+    assert set(TRACES) == {"randomnum", "bagofwords", "fingerprint"}
+    for name, cls in TRACES.items():
+        assert cls(0).name == name
+
+
+# ------------------------------------------------------------ randomnum
+
+
+def test_randomnum_item_size_is_16_bytes():
+    trace = RandomNumTrace(0)
+    assert trace.spec.item_size == 16
+    key, value = trace.items(1)[0]
+    assert len(key) == 8 and len(value) == 8
+
+
+def test_randomnum_keys_within_key_space():
+    trace = RandomNumTrace(0, key_space=1 << 26)
+    for key, _ in trace.items(500):
+        assert int.from_bytes(key, "little") < (1 << 26)
+
+
+def test_randomnum_values_recomputable():
+    trace = RandomNumTrace(3)
+    for key, value in trace.items(100):
+        assert value == value_for_key(key)
+
+
+def test_randomnum_deterministic_per_seed():
+    assert RandomNumTrace(5).items(50) == RandomNumTrace(5).items(50)
+    assert RandomNumTrace(5).items(50) != RandomNumTrace(6).items(50)
+
+
+def test_randomnum_rejects_bad_key_space():
+    with pytest.raises(ValueError):
+        RandomNumTrace(0, key_space=0)
+
+
+# ---------------------------------------------------------- bagofwords
+
+
+def test_bagofwords_item_size_is_16_bytes():
+    trace = BagOfWordsTrace(0)
+    assert trace.spec.item_size == 16
+
+
+def test_bagofwords_key_structure():
+    """Keys are (DocID u32, WordID u32); doc ids grow, word ids are
+    1-based within the vocabulary, matching the UCI docword format."""
+    trace = BagOfWordsTrace(0, vocab=1000)
+    last_doc = 0
+    for key, _ in trace.items(300):
+        doc = int.from_bytes(key[:4], "little")
+        word = int.from_bytes(key[4:], "little")
+        assert doc >= last_doc
+        last_doc = max(last_doc, doc)
+        assert 1 <= word <= 1000
+    assert last_doc > 1  # spans multiple documents
+
+
+def test_bagofwords_word_distribution_is_skewed():
+    """Zipfian words: the most common word id dwarfs the median."""
+    trace = BagOfWordsTrace(0)
+    words = [int.from_bytes(k[4:], "little") for k, _ in trace.items(3000)]
+    counts = Counter(words)
+    most_common = counts.most_common(1)[0][1]
+    assert most_common > 20  # word 0 ("the") appears in most documents
+
+
+def test_bagofwords_counts_are_positive():
+    for _, value in BagOfWordsTrace(1).items(100):
+        assert int.from_bytes(value, "little") >= 1
+
+
+def test_bagofwords_validation():
+    with pytest.raises(ValueError):
+        BagOfWordsTrace(0, vocab=1)
+    with pytest.raises(ValueError):
+        BagOfWordsTrace(0, zipf_s=1.0)
+    with pytest.raises(ValueError):
+        BagOfWordsTrace(0, words_per_doc=0)
+
+
+# ---------------------------------------------------------- fingerprint
+
+
+def test_fingerprint_item_size_is_32_bytes():
+    trace = FingerprintTrace(0)
+    assert trace.spec.item_size == 32
+    key, value = trace.items(1)[0]
+    assert len(key) == 16 and len(value) == 16
+
+
+def test_fingerprint_keys_are_md5_uniform():
+    """MD5 digests: all 256 byte values appear across a modest sample."""
+    trace = FingerprintTrace(0)
+    seen = set()
+    for key, _ in trace.items(300):
+        seen.update(key)
+    assert len(seen) > 200
+
+
+def test_fingerprint_duplicates_filtered():
+    trace = FingerprintTrace(0, duplicate_rate=0.8)
+    keys = trace.keys(200)
+    assert len(set(keys)) == 200
+
+
+def test_fingerprint_validation():
+    with pytest.raises(ValueError):
+        FingerprintTrace(0, duplicate_rate=1.0)
+
+
+# --------------------------------------------------------------- shared
+
+
+@pytest.mark.parametrize("name", sorted(TRACES))
+def test_unique_items_never_repeat(name):
+    trace = TRACES[name](0)
+    keys = trace.keys(2000)
+    assert len(set(keys)) == 2000
+
+
+@pytest.mark.parametrize("name", sorted(TRACES))
+def test_items_prefix_stability(name):
+    """items(n) must be a prefix of items(m) for n < m (the harness
+    relies on stream restartability)."""
+    trace_a = TRACES[name](0)
+    trace_b = TRACES[name](0)
+    assert trace_b.items(500)[:100] == trace_a.items(100)

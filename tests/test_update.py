@@ -1,0 +1,99 @@
+"""Tests for the in-place update extension."""
+
+import pytest
+
+from tests.conftest import ALL_SCHEMES, make_table, random_items, small_region
+
+from repro.nvm import SimulatedPowerFailure, random_schedule
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_update_changes_value_in_place(scheme):
+    region = small_region()
+    table = make_table(scheme, region)
+    key = b"mutating"
+    table.insert(key, b"value-v1")
+    count = table.count
+    assert table.update(key, b"value-v2")
+    assert table.query(key) == b"value-v2"
+    assert table.count == count  # not an insert
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_update_missing_returns_false(scheme):
+    region = small_region()
+    table = make_table(scheme, region)
+    assert not table.update(b"nonesuch", b"whatever")
+
+
+def test_update_validates_value_size():
+    region = small_region()
+    table = make_table("group", region)
+    table.insert(b"mutating", b"value-v1")
+    with pytest.raises(ValueError):
+        table.update(b"mutating", b"short")
+
+
+def test_update_is_persistent():
+    region = small_region()
+    table = make_table("group", region)
+    table.insert(b"mutating", b"value-v1")
+    table.update(b"mutating", b"value-v2")
+    region.crash()
+    table.reattach()
+    assert table.query(b"mutating") == b"value-v2"
+
+
+def test_update_does_not_disturb_neighbours():
+    region = small_region()
+    table = make_table("linear", region)
+    items = random_items(50, seed=1)
+    for k, v in items:
+        table.insert(k, v)
+    victim = items[25][0]
+    table.update(victim, b"!" * 8)
+    for k, v in items:
+        expected = b"!" * 8 if k == victim else v
+        assert table.query(k) == expected
+
+
+def test_update_crash_atomic_for_word_values():
+    """8-byte values: a crash at any point leaves old or new, never a
+    torn mix (single failure-atomicity unit)."""
+    old, new = b"AAAAAAAA", b"BBBBBBBB"
+    for at in range(1, 6):
+        region = small_region()
+        table = make_table("group", region)
+        table.insert(b"mutating", old)
+        region.arm_crash(at)
+        try:
+            table.update(b"mutating", new)
+            region.disarm_crash()
+        except SimulatedPowerFailure:
+            pass
+        region.crash(random_schedule(at))
+        table.reattach()
+        table.recover()
+        assert table.query(b"mutating") in (old, new), f"torn at event {at}"
+
+
+def test_logged_update_rolls_back_wide_values():
+    """16-byte values can tear without a log; with one, the pre-image
+    must be restorable."""
+    from repro import ItemSpec, LinearProbingTable, UndoLog
+
+    region = small_region()
+    log = UndoLog(region, record_size=64, capacity=64)
+    table = LinearProbingTable(region, 64, ItemSpec(8, 16), log=log)
+    table.insert(b"mutating", b"OLD-OLD-OLD-OLD-")
+    region.arm_crash(3)  # mid-update, after the log record persisted
+    try:
+        table.update(b"mutating", b"NEW-NEW-NEW-NEW-")
+        region.disarm_crash()
+    except SimulatedPowerFailure:
+        pass
+    region.crash(random_schedule(99))
+    table.reattach()
+    if table.log.needs_recovery():
+        table.recover()
+    assert table.query(b"mutating") in (b"OLD-OLD-OLD-OLD-", b"NEW-NEW-NEW-NEW-")
