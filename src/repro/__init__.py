@@ -29,6 +29,7 @@ from repro.core import (
     ExpansionError,
     GroupHashTable,
     GroupLayout,
+    ShardedTable,
     bulk_load,
     expand_group_table,
     insert_with_expansion,
@@ -41,7 +42,11 @@ from repro.nvm import (
     CrashReport,
     LatencyModel,
     MemStats,
+    MemoryBackend,
     NVMRegion,
+    RawBackend,
+    ShardedBackend,
+    SimBackend,
     SimConfig,
     SimulatedPowerFailure,
     StartGapMapper,
@@ -96,7 +101,12 @@ __all__ = [
     "LatencyModel",
     "LinearProbingTable",
     "MemStats",
+    "MemoryBackend",
     "NVMRegion",
+    "RawBackend",
+    "ShardedBackend",
+    "ShardedTable",
+    "SimBackend",
     "PFHTTable",
     "PathHashingTable",
     "PersistentHashTable",

@@ -14,6 +14,7 @@ import time
 from repro.bench.config import SCALES
 from repro.bench.experiments import (
     ablations,
+    backends,
     fig2,
     fig5,
     fig6,
@@ -37,6 +38,7 @@ EXPERIMENTS = {
     "sweep": sweep_lf.run,
     "writes": writes.run,
     "negative": negative.run,
+    "backends": backends.run,
 }
 
 
@@ -59,6 +61,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: force the tiny scale (overrides --scale)",
+    )
+    parser.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -66,13 +73,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    scale = SCALES[args.scale]
+    scale = SCALES["tiny"] if args.quick else SCALES[args.scale]
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     # run in paper order when "all"
     if args.experiment == "all":
         names = [
             "fig2", "fig5", "fig6", "fig7", "fig8", "table3",
-            "writes", "ablations", "sweep", "negative",
+            "writes", "ablations", "sweep", "negative", "backends",
         ]
 
     dump: dict[str, object] = {"scale": scale.name, "seed": args.seed}

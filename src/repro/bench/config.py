@@ -17,7 +17,14 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core import GroupHashTable
-from repro.nvm import CacheConfig, NVMRegion, SimConfig, TECHNOLOGY_PRESETS
+from repro.nvm import (
+    CacheConfig,
+    MemoryBackend,
+    NVMRegion,
+    RawBackend,
+    SimConfig,
+    TECHNOLOGY_PRESETS,
+)
 from repro.tables import (
     ChainedHashTable,
     ItemSpec,
@@ -123,9 +130,15 @@ def region_for(
     tech: str = "paper-nvm",
     logged: bool = False,
     flush_invalidates: bool = True,
-) -> NVMRegion:
-    """Build a region big enough for any scheme of ``total_cells`` cells,
-    with a cache sized at ``1/cache_ratio`` of the table data."""
+    backend: str = "sim",
+) -> MemoryBackend:
+    """Build a backend big enough for any scheme of ``total_cells`` cells.
+
+    ``backend="sim"`` (the default, and the only choice for figure
+    benches — latencies and miss counts need the simulator) gets a cache
+    sized at ``1/cache_ratio`` of the table data; ``backend="raw"``
+    skips the cache/latency simulation entirely for wall-clock-oriented
+    runs."""
     codec = CellCodec(spec)
     table_bytes = codec.array_bytes(total_cells)
     # headroom: metadata, PFHT stash (3 %), chained pool slack, undo log
@@ -133,6 +146,10 @@ def region_for(
     if logged:
         overhead += LOG_CAPACITY * (16 + codec.cell_size + 8)
     size = int(table_bytes * 1.25) + overhead
+    if backend == "raw":
+        return RawBackend(size, name=f"bench-{total_cells}")
+    if backend != "sim":
+        raise ValueError(f"unknown backend {backend!r}; choose 'sim' or 'raw'")
     cache_bytes = max(4096, int(table_bytes / cache_ratio))
     config = SimConfig(
         latency=TECHNOLOGY_PRESETS[tech],
@@ -146,7 +163,7 @@ def region_for(
 class BuiltTable:
     """A table plus the context the runner needs."""
 
-    region: NVMRegion
+    region: MemoryBackend
     table: PersistentHashTable
     scheme: str
     log: UndoLog | None = None
@@ -162,10 +179,11 @@ def build_table(
     cache_ratio: float = 8.0,
     tech: str = "paper-nvm",
     flush_invalidates: bool = True,
-    region: NVMRegion | None = None,
+    region: MemoryBackend | None = None,
+    backend: str = "sim",
 ) -> BuiltTable:
     """Instantiate ``scheme`` (paper name, ``-L`` suffix for logged) with
-    ≈ ``total_cells`` total cells on a fresh (or provided) region."""
+    ≈ ``total_cells`` total cells on a fresh (or provided) backend."""
     logged = scheme.endswith("-L")
     base = scheme[:-2] if logged else scheme
     if region is None:
@@ -176,6 +194,7 @@ def build_table(
             tech=tech,
             logged=logged,
             flush_invalidates=flush_invalidates,
+            backend=backend,
         )
     codec = CellCodec(spec)
     log = (

@@ -42,6 +42,9 @@ class RunSpec:
     tech: str = "paper-nvm"
     cache_ratio: float = 8.0
     flush_invalidates: bool = True
+    #: memory substrate: "sim" (costed simulator; the only valid choice
+    #: for figure benches) or "raw" (wall-clock fast path)
+    backend: str = "sim"
 
     @classmethod
     def from_scale(cls, scheme: str, trace: str, load_factor: float, scale: Scale, **kw) -> "RunSpec":
@@ -155,6 +158,7 @@ def run_workload(spec: RunSpec) -> RunResult:
         cache_ratio=spec.cache_ratio,
         tech=spec.tech,
         flush_invalidates=spec.flush_invalidates,
+        backend=spec.backend,
     )
     table, region = built.table, built.region
 

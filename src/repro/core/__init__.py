@@ -7,7 +7,10 @@
   reset of unoccupied cells, count rebuild);
 - :class:`~repro.core.layout.GroupLayout` is the physical storage layout
   of Figure 4 (global info block, two equal levels, group-aligned
-  contiguous cell runs).
+  contiguous cell runs);
+- :class:`~repro.core.sharded.ShardedTable` hash-partitions keys across
+  N independent per-shard backend+table pairs (scale-out beyond the
+  paper, with per-shard crash/recovery).
 """
 
 from repro.core.bulk import bulk_load
@@ -19,11 +22,13 @@ from repro.core.resize import (
     expand_group_table,
     insert_with_expansion,
 )
+from repro.core.sharded import ShardedTable
 
 __all__ = [
     "ExpansionError",
     "GroupHashTable",
     "GroupLayout",
+    "ShardedTable",
     "bulk_load",
     "expand_group_table",
     "insert_with_expansion",

@@ -76,7 +76,7 @@ def bulk_load(
 
     # ---- write in address order, flush each line once ----------------
     placements.sort(key=lambda p: p[0])
-    line = region.config.cache.line_size
+    line = region.line_size
     touched_lines: list[int] = []
     for addr, key, value in placements:
         codec.write_kv(region, addr, key, value)

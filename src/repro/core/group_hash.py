@@ -34,9 +34,10 @@ from typing import Iterator
 
 from repro.core.layout import GroupLayout
 from repro.core.recovery import recover_group_table
-from repro.nvm.memory import CACHELINE, NVMRegion
+from repro.nvm.backend import MemoryBackend
+from repro.nvm.memory import CACHELINE
 from repro.tables.base import PersistentHashTable
-from repro.tables.cell import ItemSpec
+from repro.tables.cell import HEADER_SIZE, OCCUPIED_BIT, ItemSpec
 from repro.tables.wal import UndoLog
 
 
@@ -47,7 +48,7 @@ class GroupHashTable(PersistentHashTable):
 
     def __init__(
         self,
-        region: NVMRegion,
+        region: MemoryBackend,
         n_cells: int,
         spec: ItemSpec | None = None,
         *,
@@ -108,21 +109,27 @@ class GroupHashTable(PersistentHashTable):
     # Algorithm 1
 
     def insert(self, key: bytes, value: bytes) -> bool:
-        codec, region, layout = self.codec, self.region, self.layout
+        # Hot path: layout arithmetic is inlined into locals and the
+        # group walk is the backend's bulk probe, whose event semantics
+        # are defined as the per-cell loop — so the simulator's event
+        # counts (pinned by tests) are those of the readable form.
+        layout = self.layout
+        region = self.region
+        cell_size = self.codec.cell_size
+        group_size = self.group_size
         for h in self._hashes:
-            k = layout.slot(h(key))
-            addr1 = layout.tab1_addr(codec, k)
-            if not codec.is_occupied(region, addr1):
+            k = h(key) % layout.n_cells_level
+            addr1 = layout.tab1_base + k * cell_size
+            if not region.read_u64(addr1) & OCCUPIED_BIT:
                 self._install(addr1, key, value)
                 return True
             # Level-1 collision: scan the matched level-2 group — a
             # contiguous run of group_size cells.
-            j = layout.group_start(k)
-            for i in range(self.group_size):
-                addr2 = layout.tab2_addr(codec, j + i)
-                if not codec.is_occupied(region, addr2):
-                    self._install(addr2, key, value)
-                    return True
+            group_base = layout.tab2_base + (k - k % group_size) * cell_size
+            i = region.scan_clear_u64(group_base, cell_size, group_size, OCCUPIED_BIT)
+            if i is not None:
+                self._install(group_base + i * cell_size, key, value)
+                return True
         # Both the home cell and its whole shared group are full: the
         # paper's signal that the table needs expansion.
         return False
@@ -137,23 +144,28 @@ class GroupHashTable(PersistentHashTable):
         return self.codec.read_value(self.region, addr)
 
     def _find(self, key: bytes) -> int | None:
-        codec, region, layout = self.codec, self.region, self.layout
+        # Same discipline as insert: the home cell is one header+key
+        # read (the codec.probe access), the group walk is the backend's
+        # bulk match with identical per-cell read semantics.
+        layout = self.layout
+        region = self.region
+        cell_size = self.codec.cell_size
+        group_size = self.group_size
+        probe_size = HEADER_SIZE + self.spec.key_size
         for h in self._hashes:
-            k = layout.slot(h(key))
-            addr1 = layout.tab1_addr(codec, k)
-            occupied, cell_key = codec.probe(region, addr1)
-            if occupied and cell_key == key:
+            k = h(key) % layout.n_cells_level
+            addr1 = layout.tab1_base + k * cell_size
+            raw = region.read(addr1, probe_size)
+            if raw[0] & OCCUPIED_BIT and raw[HEADER_SIZE:] == key:
                 return addr1
-            j = layout.group_start(k)
-            for i in range(self.group_size):
-                addr2 = layout.tab2_addr(codec, j + i)
-                occupied, cell_key = codec.probe(region, addr2)
-                if occupied and cell_key == key:
-                    return addr2
+            group_base = layout.tab2_base + (k - k % group_size) * cell_size
+            i = region.scan_match(
+                group_base, cell_size, group_size, key,
+                mask=OCCUPIED_BIT, key_offset=HEADER_SIZE,
+            )
+            if i is not None:
+                return group_base + i * cell_size
         return None
-
-    def _locate(self, key: bytes) -> int | None:
-        return self._find(key)
 
     # ------------------------------------------------------------------
     # Algorithm 3

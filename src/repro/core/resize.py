@@ -25,7 +25,7 @@ insert, and on a FALSE return expand by ``growth_factor`` and retry.
 from __future__ import annotations
 
 from repro.core.group_hash import GroupHashTable
-from repro.nvm.memory import NVMRegion
+from repro.nvm.backend import MemoryBackend
 
 
 class ExpansionError(RuntimeError):
@@ -35,7 +35,7 @@ class ExpansionError(RuntimeError):
 def expand_group_table(
     table: GroupHashTable,
     *,
-    region: NVMRegion | None = None,
+    region: MemoryBackend | None = None,
     growth_factor: int = 2,
     group_size: int | None = None,
 ) -> GroupHashTable:
@@ -85,7 +85,7 @@ def insert_with_expansion(
 ) -> tuple[GroupHashTable, bool]:
     """Insert, expanding on failure; returns ``(table, inserted)``.
 
-    ``region_factory(n_cells, spec) -> NVMRegion`` supplies a region for
+    ``region_factory(n_cells, spec) -> MemoryBackend`` supplies a region for
     each expansion; by default the current region is reused (fine when
     it was sized with headroom)."""
     for _ in range(max_expansions + 1):

@@ -1,0 +1,232 @@
+"""Sharded tables: hash-partitioned scale-out over pluggable backends.
+
+The paper's table is one monolithic structure on one region. Scaling it
+to production traffic means what Dash (Lu et al., VLDB 2020) and
+IcebergHT (Pandey et al., 2023) demonstrate for persistent-memory
+hashing: decompose the table into independently managed partitions with
+a stable layout. :class:`ShardedTable` supplies that decomposition as a
+routing layer *above* the unchanged per-shard schemes:
+
+- every shard is a complete (backend, table) pair — its own metadata
+  block, its own allocator, its own crash domain;
+- a dedicated router hash (seeded independently of the tables' hash
+  family, so shard choice and in-table placement stay uncorrelated)
+  partitions the key space;
+- shards crash and recover **independently**: a power failure in one
+  shard leaves the others serving, and recovery scans only the failed
+  shard's cells — 1/N of the monolithic Algorithm 4 scan;
+- statistics aggregate across shards via
+  :class:`~repro.nvm.backend.ShardedBackend`.
+
+The default shard substrate is :class:`~repro.nvm.backend.RawBackend`
+(sharding is a throughput construct, not a figure-reproduction one),
+but any factory works — including per-shard simulators for costed
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.core.group_hash import GroupHashTable
+from repro.hashes import HashFamily
+from repro.nvm.backend import MemoryBackend, RawBackend, ShardedBackend
+from repro.nvm.crash import CrashSchedule
+from repro.nvm.memory import CrashReport
+from repro.nvm.stats import MemStats
+from repro.tables.base import PersistentHashTable
+from repro.tables.cell import CellCodec, ItemSpec
+
+#: router seed perturbation: keeps the shard-choice hash independent of
+#: the in-table hash family even though both derive from one user seed
+_ROUTER_SALT = 0x51A2DED
+
+
+def _default_group_size(n_cells_per_shard: int) -> int:
+    """Largest power of two ≤ 128 dividing the per-shard level size —
+    keeps the paper's contiguous-group property at any shard size."""
+    level = max(2, n_cells_per_shard // 2)
+    size = 1
+    while size < 128 and level % (size * 2) == 0:
+        size *= 2
+    return size
+
+
+def _default_backend_factory(
+    n_cells_per_shard: int, spec: ItemSpec
+) -> Callable[[int], MemoryBackend]:
+    """Per-shard :class:`RawBackend` sized like the bench regions."""
+    codec = CellCodec(spec)
+    size = int(codec.array_bytes(n_cells_per_shard) * 1.25) + (1 << 16)
+
+    def factory(shard: int) -> MemoryBackend:
+        return RawBackend(size, name=f"shard{shard}")
+
+    return factory
+
+
+class ShardedTable:
+    """Hash-partitioned persistent table across N backend shards.
+
+    Routes every operation to ``shard = router(key) % n_shards`` and
+    delegates to that shard's own :class:`PersistentHashTable`. The
+    public surface mirrors the single table (insert/query/delete/update,
+    count, load factor, ``items``, ``check_count``) plus the sharded
+    extras: per-shard crash injection and independent recovery.
+    """
+
+    def __init__(
+        self,
+        n_cells: int,
+        spec: ItemSpec | None = None,
+        *,
+        n_shards: int = 4,
+        seed: int = 0x5EED,
+        backend_factory: Callable[[int], MemoryBackend] | None = None,
+        table_factory: Callable[[MemoryBackend, int, ItemSpec, int], PersistentHashTable]
+        | None = None,
+    ) -> None:
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if n_cells < n_shards:
+            raise ValueError("need at least one cell per shard")
+        self.spec = spec or ItemSpec()
+        self.n_shards = n_shards
+        self.seed = seed
+        # equal shards, rounded up to even so two-level schemes fit
+        per_shard = -(-n_cells // n_shards)
+        per_shard += per_shard % 2
+        self.n_cells_per_shard = per_shard
+        if backend_factory is None:
+            backend_factory = _default_backend_factory(per_shard, self.spec)
+        if table_factory is None:
+            group_size = _default_group_size(per_shard)
+
+            def table_factory(
+                backend: MemoryBackend, cells: int, spec: ItemSpec, table_seed: int
+            ) -> PersistentHashTable:
+                return GroupHashTable(
+                    backend, cells, spec, group_size=group_size, seed=table_seed
+                )
+
+        self.backend = ShardedBackend(n_shards, backend_factory)
+        # distinct per-shard table seeds: identical seeds would give every
+        # shard the same placement function, which is fine for correctness
+        # but correlates overflow behaviour across shards
+        self.tables: list[PersistentHashTable] = [
+            table_factory(self.backend.shard(i), per_shard, self.spec, seed ^ i)
+            for i in range(n_shards)
+        ]
+        self._router = HashFamily(seed ^ _ROUTER_SALT).function(0)
+
+    # ------------------------------------------------------------------
+    # routing
+
+    def shard_of(self, key: bytes) -> int:
+        """Shard index serving ``key``."""
+        return self._router(key) % self.n_shards
+
+    def table_for(self, key: bytes) -> PersistentHashTable:
+        """The per-shard table serving ``key``."""
+        return self.tables[self.shard_of(key)]
+
+    # ------------------------------------------------------------------
+    # the single-table surface, routed
+
+    def insert(self, key: bytes, value: bytes) -> bool:
+        """Insert into the key's shard; False when that shard is full."""
+        return self.table_for(key).insert(key, value)
+
+    def query(self, key: bytes) -> bytes | None:
+        """Return the value stored for ``key``, or ``None``."""
+        return self.table_for(key).query(key)
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        return self.table_for(key).delete(key)
+
+    def update(self, key: bytes, value: bytes) -> bool:
+        """In-place value update in the key's shard."""
+        return self.table_for(key).update(key, value)
+
+    # ------------------------------------------------------------------
+    # aggregated state
+
+    @property
+    def capacity(self) -> int:
+        """Total cells across all shards."""
+        return sum(t.capacity for t in self.tables)
+
+    @property
+    def count(self) -> int:
+        """Total occupied cells across all shards (volatile mirrors)."""
+        return sum(t.count for t in self.tables)
+
+    @property
+    def persisted_count(self) -> int:
+        """Sum of every shard's persistent ``count`` field."""
+        return sum(t.persisted_count for t in self.tables)
+
+    @property
+    def load_factor(self) -> float:
+        """Global count / capacity."""
+        return self.count / self.capacity
+
+    @property
+    def stats(self) -> MemStats:
+        """Aggregated event counters across every shard's backend."""
+        return self.backend.stats
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Yield all stored pairs, shard by shard (cost-free inventory)."""
+        for table in self.tables:
+            yield from table.items()
+
+    def check_count(self) -> bool:
+        """Whether every shard's persistent count matches its occupancy
+        (the global consistency invariant)."""
+        return all(t.check_count() for t in self.tables)
+
+    def shard_counts(self) -> list[int]:
+        """Per-shard item counts (balance diagnostic)."""
+        return [t.count for t in self.tables]
+
+    # ------------------------------------------------------------------
+    # independent crash / recovery
+
+    def crash(
+        self,
+        schedule: CrashSchedule | None = None,
+        *,
+        shard: int | None = None,
+    ) -> list[CrashReport]:
+        """Power-fail one shard (``shard=i``) or all shards.
+
+        Other shards keep serving; their unflushed data is untouched."""
+        return self.backend.crash(schedule, shard=shard)
+
+    def _shard_tables(self, shard: int | None) -> list[PersistentHashTable]:
+        if shard is None:
+            return self.tables
+        if not 0 <= shard < self.n_shards:
+            raise IndexError(f"shard {shard} out of range [0, {self.n_shards})")
+        return [self.tables[shard]]
+
+    def reattach(self, shard: int | None = None) -> None:
+        """Reload volatile mirrors from NVM after a crash, for one shard
+        or all of them."""
+        for table in self._shard_tables(shard):
+            table.reattach()
+
+    def recover(self, shard: int | None = None) -> None:
+        """Run the per-scheme recovery (Algorithm 4 for group hashing)
+        on one shard or all shards. Recovering a single shard scans only
+        its cells — 1/n_shards of the monolithic scan."""
+        for table in self._shard_tables(shard):
+            table.recover()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedTable(n_shards={self.n_shards}, "
+            f"cells/shard={self.n_cells_per_shard}, count={self.count})"
+        )

@@ -15,7 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
-from repro.nvm.memory import CACHELINE, NVMRegion
+from repro.nvm.backend import MemoryBackend
+from repro.nvm.memory import CACHELINE
 
 
 class SlabFullError(MemoryError):
@@ -39,11 +40,11 @@ class _SizeClass:
 
 
 class SlabAllocator:
-    """Slab allocation over an :class:`~repro.nvm.memory.NVMRegion`."""
+    """Slab allocation over any :class:`~repro.nvm.backend.MemoryBackend`."""
 
     def __init__(
         self,
-        region: NVMRegion,
+        region: MemoryBackend,
         *,
         min_chunk: int = 32,
         max_chunk: int = 4096,

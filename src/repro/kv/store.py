@@ -31,7 +31,7 @@ import hashlib
 
 from repro.core import GroupHashTable
 from repro.kv.slab import SlabAllocator
-from repro.nvm.memory import NVMRegion
+from repro.nvm.backend import MemoryBackend
 from repro.tables.cell import ItemSpec
 
 _DIGEST_SIZE = 16
@@ -58,7 +58,7 @@ class KVStore:
 
     def __init__(
         self,
-        region: NVMRegion,
+        region: MemoryBackend,
         *,
         n_index_cells: int = 1 << 12,
         group_size: int = 128,

@@ -17,8 +17,19 @@ simulate the part of the machine the paper's evaluation depends on:
 - :mod:`~repro.nvm.crash` — crash schedules that persist an arbitrary
   subset of unflushed 8-byte words, strictly more adversarial than real
   store reordering.
+- :mod:`~repro.nvm.backend` — the :class:`~repro.nvm.backend.MemoryBackend`
+  protocol every table is written against, with three implementations:
+  :class:`~repro.nvm.backend.SimBackend` (this simulator),
+  :class:`~repro.nvm.backend.RawBackend` (simulation-free fast path) and
+  :class:`~repro.nvm.backend.ShardedBackend` (N independent shards).
 """
 
+from repro.nvm.backend import (
+    MemoryBackend,
+    RawBackend,
+    ShardedBackend,
+    SimBackend,
+)
 from repro.nvm.cache import CacheConfig, CacheSim
 from repro.nvm.crash import (
     CrashSchedule,
@@ -56,7 +67,11 @@ __all__ = [
     "DRAM",
     "LatencyModel",
     "MemStats",
+    "MemoryBackend",
     "NVMRegion",
+    "RawBackend",
+    "ShardedBackend",
+    "SimBackend",
     "PAPER_NVM",
     "PCM",
     "RERAM",

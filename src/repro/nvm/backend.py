@@ -1,0 +1,677 @@
+"""Pluggable memory backends behind one protocol.
+
+Every hash table in this repository is written against
+:class:`MemoryBackend` — the read/write/persist/fence/alloc/crash/stats
+surface that :class:`~repro.nvm.memory.NVMRegion` pioneered — rather
+than against the concrete simulator class. Three implementations ship:
+
+- :class:`SimBackend` — the full cacheline/latency simulator
+  (:class:`~repro.nvm.memory.NVMRegion` itself, re-exported unchanged).
+  Every figure benchmark runs on it; simulated-ns latencies and miss
+  counts are bit-for-bit those of the pre-protocol code.
+- :class:`RawBackend` — a plain dual-image bytearray store with **no
+  cache simulation and no latency model**. Same data semantics (volatile
+  view vs persistent image, 8-byte-word crash granularity, dirty-line
+  tracking at flush granularity), but each access is a couple of slice
+  operations, which makes correctness suites and production-style KV
+  workloads several times faster. Latency/miss counters stay zero.
+- :class:`ShardedBackend` — a container of N independent per-shard
+  backends with aggregated statistics and per-shard crash injection.
+  It is deliberately *not* one flat address space: shard independence
+  (crash one, keep serving the rest) is the property the routing layer
+  :class:`~repro.core.sharded.ShardedTable` builds on.
+
+Because both concrete single-region backends follow the same program-
+order event semantics (stores dirty data, ``clflush`` persists it,
+crash schedules decide the fate of unflushed 8-byte words), a table
+driven identically on a :class:`SimBackend` and a :class:`RawBackend`
+reaches identical persistent states — the parity property pinned by
+``tests/test_backends.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.nvm.crash import CrashSchedule, drop_all_schedule
+from repro.nvm.memory import (
+    ATOMIC_UNIT,
+    CACHELINE,
+    Allocation,
+    CrashReport,
+    NVMRegion,
+    SimulatedPowerFailure,
+    _U64,
+)
+from repro.nvm.stats import MemStats
+
+
+@runtime_checkable
+class MemoryBackend(Protocol):
+    """Structural type of a persistent-memory substrate.
+
+    Anything that provides this surface can host every table, the undo
+    log, the KV store, and the benchmark runner. The contract mirrors
+    x86 + NVDIMM semantics: stores land in a volatile view, ``clflush``
+    moves whole lines to the persistent image, ``mfence`` orders, and a
+    :meth:`crash` consults a :class:`~repro.nvm.crash.CrashSchedule` at
+    8-byte-word granularity for everything still unflushed.
+    """
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Human-readable region name (used in error messages)."""
+        ...
+
+    @property
+    def size(self) -> int:
+        """Backend capacity in bytes."""
+        ...
+
+    @property
+    def line_size(self) -> int:
+        """Flush granularity in bytes (the cacheline)."""
+        ...
+
+    @property
+    def stats(self) -> MemStats:
+        """Event counters; simulation-free backends keep latency and
+        cache counters at zero but still count program-issued events."""
+        ...
+
+    # -- allocation ----------------------------------------------------
+
+    def alloc(self, nbytes: int, *, align: int = ATOMIC_UNIT, label: str = "") -> int:
+        """Bump-allocate ``nbytes`` with the given alignment; returns the
+        byte address of the extent."""
+        ...
+
+    @property
+    def bytes_allocated(self) -> int:
+        """High-water mark of the bump allocator."""
+        ...
+
+    # -- data path -----------------------------------------------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Load ``size`` bytes from the volatile view."""
+        ...
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Store ``data``; durable only after a flush (or crash luck)."""
+        ...
+
+    def read_u64(self, addr: int) -> int:
+        """Load an 8-byte little-endian unsigned integer."""
+        ...
+
+    def write_u64(self, addr: int, value: int) -> None:
+        """Store an 8-byte little-endian unsigned integer."""
+        ...
+
+    def write_atomic_u64(self, addr: int, value: int) -> None:
+        """The paper's failure-atomic 8-byte store (asserts alignment)."""
+        ...
+
+    # -- bulk probes ---------------------------------------------------
+
+    def scan_clear_u64(self, addr: int, stride: int, count: int, mask: int = 1) -> int | None:
+        """Index of the first of ``count`` header words (at ``addr``,
+        ``addr+stride``, ...) with ``(word & mask) == 0``, or None.
+
+        Event semantics are *defined* as one :meth:`read_u64` per probed
+        word, stopping at the first clear one — backends may accelerate
+        the loop but must report the identical access sequence."""
+        ...
+
+    def scan_match(
+        self, addr: int, stride: int, count: int, key: bytes, *, mask: int = 1, key_offset: int = 8
+    ) -> int | None:
+        """Index of the first of ``count`` cells whose header *byte 0*
+        has a ``mask`` bit set and whose bytes at ``key_offset`` equal
+        ``key``, or None.
+
+        Event semantics are one ``read(cell, key_offset + len(key))``
+        per probed cell (header and key travel in one load), stopping at
+        the match — the contiguous-probe read pattern of the paper's
+        level-2 scan. ``mask`` must fit in the header's low byte."""
+        ...
+
+    # -- persistence primitives ----------------------------------------
+
+    def clflush(self, addr: int) -> None:
+        """Flush the line containing ``addr`` to the persistent image."""
+        ...
+
+    def flush_range(self, addr: int, size: int) -> None:
+        """``clflush`` every line overlapping ``[addr, addr+size)``."""
+        ...
+
+    def mfence(self) -> None:
+        """Order stores (and charge the fence cost, where modelled)."""
+        ...
+
+    def persist(self, addr: int, size: int = 8) -> None:
+        """The paper's ``Persist``: flush the range, then fence."""
+        ...
+
+    # -- crash/recovery ------------------------------------------------
+
+    def arm_crash(self, after_events: int) -> None:
+        """Arm a power failure ``after_events`` persistence-relevant
+        events (store/flush/fence) from now."""
+        ...
+
+    def disarm_crash(self) -> None:
+        """Cancel a pending armed crash."""
+        ...
+
+    def crash(self, schedule: CrashSchedule | None = None) -> CrashReport:
+        """Simulate a power failure; the schedule picks which unflushed
+        8-byte words survive. Afterwards the volatile view equals the
+        persistent image."""
+        ...
+
+    # -- introspection (cost-free) -------------------------------------
+
+    def peek_persistent(self, addr: int, size: int) -> bytes:
+        """Read the persistent image directly (no cost charged)."""
+        ...
+
+    def peek_volatile(self, addr: int, size: int) -> bytes:
+        """Read the volatile view directly (no cost charged)."""
+        ...
+
+    def unpersisted_ranges(self) -> list[tuple[int, int]]:
+        """``(addr, size)`` extents where volatile and persistent images
+        differ — data at risk in a crash right now."""
+        ...
+
+
+#: The simulator backend: the existing :class:`NVMRegion`, unchanged.
+#: An alias (not a subclass) so event counts, latencies and isinstance
+#: relationships are bit-for-bit those of the pre-protocol code.
+SimBackend = NVMRegion
+
+
+class RawBackend:
+    """Simulation-free :class:`MemoryBackend`: the fast path.
+
+    Keeps the same two images as the simulator — volatile view and
+    persistent image — and tracks *dirty lines* (stores not yet flushed)
+    in a set, but runs no cache model and charges no latency. Program-
+    order event semantics are identical to :class:`SimBackend`: the same
+    operation sequence leaves the same dirty words at any crash point,
+    which is what makes backend parity testable.
+
+    Intended for correctness suites (crash semantics intact, ~an order
+    of magnitude faster) and throughput-oriented KV serving where
+    simulated nanoseconds are irrelevant.
+    """
+
+    def __init__(self, size: int, *, name: str = "raw", line_size: int = CACHELINE) -> None:
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        if line_size <= 0 or line_size % ATOMIC_UNIT:
+            raise ValueError("line_size must be a positive multiple of 8")
+        self.name = name
+        self.size = size
+        self.line_size = line_size
+        self._line = line_size
+        self._persistent = bytearray(size)
+        self._volatile = bytearray(size)
+        #: line numbers holding stores not yet written back
+        self._dirty: set[int] = set()
+        self.stats = MemStats()
+        self._alloc_cursor = 0
+        self.allocations: list[Allocation] = []
+        self._crash_countdown: int | None = None
+        self._hook: Callable[[str, int, int], None] | None = None
+        # Hot-path gate: True only while an armed crash or an event hook
+        # needs per-event bookkeeping. Keeping this a single attribute
+        # lets read/write/persist skip two attribute tests per event.
+        self._slow = False
+
+    @property
+    def event_hook(self) -> Callable[[str, int, int], None] | None:
+        """Optional observer ``hook(kind, addr, size)`` — same contract
+        as :attr:`NVMRegion.event_hook`."""
+        return self._hook
+
+    @event_hook.setter
+    def event_hook(self, hook: Callable[[str, int, int], None] | None) -> None:
+        self._hook = hook
+        self._slow = hook is not None or self._crash_countdown is not None
+
+    def _pre_event(self, kind: str, addr: int, size: int) -> None:
+        """Armed-crash tick + observer call, in the simulator's order."""
+        if self._crash_countdown is not None:
+            self._crash_tick()
+        hook = self._hook
+        if hook is not None:
+            hook(kind, addr, size)
+
+    # ------------------------------------------------------------------
+    # allocation
+
+    def alloc(self, nbytes: int, *, align: int = ATOMIC_UNIT, label: str = "") -> int:
+        """Bump-allocate ``nbytes`` (same policy as the simulator)."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if align <= 0 or align & (align - 1):
+            raise ValueError(f"alignment must be a power of two, got {align}")
+        addr = (self._alloc_cursor + align - 1) & ~(align - 1)
+        if addr + nbytes > self.size:
+            raise MemoryError(
+                f"region '{self.name}' exhausted: need {nbytes} bytes at "
+                f"{addr}, size {self.size}"
+            )
+        self._alloc_cursor = addr + nbytes
+        self.allocations.append(
+            Allocation(label or f"alloc{len(self.allocations)}", addr, nbytes)
+        )
+        return addr
+
+    @property
+    def bytes_allocated(self) -> int:
+        """High-water mark of the bump allocator."""
+        return self._alloc_cursor
+
+    # ------------------------------------------------------------------
+    # crash arming (same countdown semantics as the simulator)
+
+    def arm_crash(self, after_events: int) -> None:
+        """Arm a power failure ``after_events`` store/flush/fence events
+        from now (identical countdown semantics to the simulator)."""
+        if after_events <= 0:
+            raise ValueError("after_events must be positive")
+        self._crash_countdown = after_events
+        self._slow = True
+
+    def disarm_crash(self) -> None:
+        """Cancel a pending armed crash."""
+        self._crash_countdown = None
+        self._slow = self._hook is not None
+
+    def _crash_tick(self) -> None:
+        countdown = self._crash_countdown
+        if countdown is None:
+            return
+        countdown -= 1
+        if countdown <= 0:
+            self._crash_countdown = None
+            self._slow = self._hook is not None
+            raise SimulatedPowerFailure("armed crash point reached")
+        self._crash_countdown = countdown
+
+    def _check_range(self, addr: int, size: int) -> None:
+        if addr < 0 or size < 0 or addr + size > self.size:
+            raise IndexError(
+                f"access [{addr}, {addr + size}) outside region of size {self.size}"
+            )
+
+    # ------------------------------------------------------------------
+    # data path
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Load ``size`` bytes from the volatile view."""
+        if addr < 0 or size < 0 or addr + size > self.size:
+            self._check_range(addr, size)
+        stats = self.stats
+        stats.reads += 1
+        stats.bytes_read += size
+        return bytes(self._volatile[addr : addr + size])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Store ``data`` (dirty until flushed)."""
+        size = len(data)
+        if addr < 0 or addr + size > self.size:
+            self._check_range(addr, size)
+        if self._slow:
+            self._pre_event("write", addr, size)
+        line = self._line
+        first = addr // line
+        last = (addr + size - 1) // line
+        if first == last:
+            self._dirty.add(first)
+        else:
+            self._dirty.update(range(first, last + 1))
+        stats = self.stats
+        stats.writes += 1
+        stats.bytes_written += size
+        self._volatile[addr : addr + size] = data
+
+    def read_u64(self, addr: int) -> int:
+        """Load an 8-byte little-endian unsigned integer."""
+        if addr < 0 or addr + 8 > self.size:
+            self._check_range(addr, 8)
+        stats = self.stats
+        stats.reads += 1
+        stats.bytes_read += 8
+        return _U64.unpack_from(self._volatile, addr)[0]
+
+    def write_u64(self, addr: int, value: int) -> None:
+        """Store an 8-byte little-endian unsigned integer."""
+        if addr < 0 or addr + 8 > self.size:
+            self._check_range(addr, 8)
+        if self._slow:
+            self._pre_event("write", addr, 8)
+        line = self._line
+        first = addr // line
+        dirty = self._dirty
+        dirty.add(first)
+        if (addr + 7) // line != first:
+            dirty.add(first + 1)
+        stats = self.stats
+        stats.writes += 1
+        stats.bytes_written += 8
+        _U64.pack_into(self._volatile, addr, value)
+
+    def write_atomic_u64(self, addr: int, value: int) -> None:
+        """Failure-atomic 8-byte store; asserts natural alignment."""
+        if addr % ATOMIC_UNIT:
+            raise ValueError(
+                f"atomic write requires {ATOMIC_UNIT}-byte alignment, got addr {addr}"
+            )
+        self.write_u64(addr, value)
+
+    # ------------------------------------------------------------------
+    # bulk probes
+
+    def scan_clear_u64(self, addr: int, stride: int, count: int, mask: int = 1) -> int | None:
+        """First of ``count`` strided header words with no ``mask`` bit.
+
+        Accelerated over the volatile image in one local loop; counts
+        the identical per-word read events the reference loop would."""
+        if count <= 0:
+            return None
+        if addr < 0 or stride < 8 or addr + (count - 1) * stride + 8 > self.size:
+            raise IndexError(
+                f"scan [{addr}, +{stride}*{count}] outside region of size {self.size}"
+            )
+        volatile = self._volatile
+        unpack = _U64.unpack_from
+        found = None
+        probed = count
+        for i in range(count):
+            if not unpack(volatile, addr)[0] & mask:
+                found, probed = i, i + 1
+                break
+            addr += stride
+        stats = self.stats
+        stats.reads += probed
+        stats.bytes_read += 8 * probed
+        return found
+
+    def scan_match(
+        self, addr: int, stride: int, count: int, key: bytes, *, mask: int = 1, key_offset: int = 8
+    ) -> int | None:
+        """First of ``count`` strided cells that is occupied (header byte
+        0 & ``mask``) and stores ``key`` at ``key_offset``.
+
+        Accelerated: the header byte is tested as a plain ``bytearray``
+        index and the key sliced only for occupied cells; read events
+        are counted exactly as the reference per-cell loop would."""
+        if count <= 0:
+            return None
+        size = key_offset + len(key)
+        if addr < 0 or stride < 8 or addr + (count - 1) * stride + size > self.size:
+            raise IndexError(
+                f"scan [{addr}, +{stride}*{count}] outside region of size {self.size}"
+            )
+        volatile = self._volatile
+        found = None
+        probed = count
+        for i in range(count):
+            if volatile[addr] & mask and volatile[addr + key_offset : addr + size] == key:
+                found, probed = i, i + 1
+                break
+            addr += stride
+        stats = self.stats
+        stats.reads += probed
+        stats.bytes_read += size * probed
+        return found
+
+    # ------------------------------------------------------------------
+    # persistence primitives
+
+    def clflush(self, addr: int) -> None:
+        """Write the line containing ``addr`` back to the persistent
+        image (idempotent for clean lines)."""
+        if addr < 0 or addr + 1 > self.size:
+            self._check_range(addr, 1)
+        if self._slow:
+            self._pre_event("flush", addr, self._line)
+        stats = self.stats
+        stats.flushes += 1
+        line_size = self._line
+        line = addr // line_size
+        dirty = self._dirty
+        if line in dirty:
+            dirty.remove(line)
+            start = line * line_size
+            end = start + line_size
+            if end > self.size:
+                end = self.size
+            self._persistent[start:end] = self._volatile[start:end]
+            stats.writebacks += 1
+            stats.nvm_line_writes += 1
+            stats.nvm_bytes_written += end - start
+            stats.dirty_flushes += 1
+
+    def flush_range(self, addr: int, size: int) -> None:
+        """``clflush`` every line overlapping ``[addr, addr+size)``."""
+        if size <= 0:
+            return
+        self._check_range(addr, size)
+        line = self._line
+        first = addr // line
+        last = (addr + size - 1) // line
+        for ln in range(first, last + 1):
+            self.clflush(ln * line)
+
+    def mfence(self) -> None:
+        """Order stores (a no-op for correctness here; counts the event
+        so crash countdowns stay aligned with the simulator)."""
+        if self._slow:
+            self._pre_event("fence", 0, 0)
+        self.stats.fences += 1
+
+    sfence = mfence
+
+    def persist(self, addr: int, size: int = 8) -> None:
+        """Flush the range, then fence — the paper's ``Persist``.
+
+        Fused re-implementation of ``flush_range`` + ``mfence`` (the
+        hottest call in the commit discipline: three per insert). Event
+        order — per-line flush ticks, then the fence tick — is exactly
+        the simulator's, so armed crashes fire at the same point."""
+        if size > 0:
+            if addr < 0 or addr + size > self.size:
+                self._check_range(addr, size)
+            line_size = self._line
+            first = addr // line_size
+            last = (addr + size - 1) // line_size
+            slow = self._slow
+            stats = self.stats
+            dirty = self._dirty
+            volatile = self._volatile
+            persistent = self._persistent
+            for ln in range(first, last + 1):
+                if slow:
+                    self._pre_event("flush", ln * line_size, line_size)
+                stats.flushes += 1
+                if ln in dirty:
+                    dirty.remove(ln)
+                    start = ln * line_size
+                    end = start + line_size
+                    if end > self.size:
+                        end = self.size
+                    persistent[start:end] = volatile[start:end]
+                    stats.writebacks += 1
+                    stats.nvm_line_writes += 1
+                    stats.nvm_bytes_written += end - start
+                    stats.dirty_flushes += 1
+        if self._slow:
+            self._pre_event("fence", 0, 0)
+        self.stats.fences += 1
+
+    # ------------------------------------------------------------------
+    # crash/recovery
+
+    def crash(self, schedule: CrashSchedule | None = None) -> CrashReport:
+        """Simulate a power failure with the same word-granular semantics
+        as the simulator: for every dirty line the schedule picks which
+        modified 8-byte words reach the persistent image."""
+        schedule = schedule or drop_all_schedule()
+        self._crash_countdown = None
+        report = CrashReport()
+        line_size = self.line_size
+        for line in sorted(self._dirty):
+            start = line * line_size
+            end = min(start + line_size, self.size)
+            dirty_words = [
+                off
+                for off in range(start, end, ATOMIC_UNIT)
+                if self._volatile[off : off + ATOMIC_UNIT]
+                != self._persistent[off : off + ATOMIC_UNIT]
+            ]
+            if not dirty_words:
+                continue
+            report.dirty_lines += 1
+            persisted = set(schedule.words_persisted(start, dirty_words))
+            for off in dirty_words:
+                if off in persisted:
+                    self._persistent[off : off + ATOMIC_UNIT] = self._volatile[
+                        off : off + ATOMIC_UNIT
+                    ]
+                    report.words_persisted += 1
+                else:
+                    report.words_dropped += 1
+        self._dirty.clear()
+        self._volatile[:] = self._persistent
+        return report
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def peek_persistent(self, addr: int, size: int) -> bytes:
+        """Read the persistent image directly (no cost)."""
+        self._check_range(addr, size)
+        return bytes(self._persistent[addr : addr + size])
+
+    def peek_volatile(self, addr: int, size: int) -> bytes:
+        """Read the volatile view directly (no cost)."""
+        self._check_range(addr, size)
+        return bytes(self._volatile[addr : addr + size])
+
+    def unpersisted_ranges(self) -> list[tuple[int, int]]:
+        """``(addr, size)`` extents where the two images differ.
+
+        Only dirty lines can differ, so the scan is bounded by the dirty
+        set rather than the region size."""
+        diffs: list[tuple[int, int]] = []
+        run_start: int | None = None
+        line_size = self.line_size
+        prev_line = None
+        for line in sorted(self._dirty):
+            if prev_line is not None and line != prev_line + 1 and run_start is not None:
+                # a gap between dirty lines always ends a run
+                end = (prev_line + 1) * line_size
+                diffs.append((run_start, end - run_start))
+                run_start = None
+            start = line * line_size
+            end = min(start + line_size, self.size)
+            for off in range(start, end, ATOMIC_UNIT):
+                same = (
+                    self._volatile[off : off + ATOMIC_UNIT]
+                    == self._persistent[off : off + ATOMIC_UNIT]
+                )
+                if same and run_start is not None:
+                    diffs.append((run_start, off - run_start))
+                    run_start = None
+                elif not same and run_start is None:
+                    run_start = off
+            prev_line = line
+        if run_start is not None:
+            end = min((prev_line + 1) * line_size, self.size)
+            diffs.append((run_start, end - run_start))
+        return diffs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RawBackend(name={self.name!r}, size={self.size}, "
+            f"allocated={self._alloc_cursor})"
+        )
+
+
+class ShardedBackend:
+    """N independent per-shard backends with aggregated accounting.
+
+    Each shard is a full :class:`MemoryBackend` (any implementation)
+    created by ``factory(shard_index)``. The container adds what a
+    sharded system needs on top: a merged statistics view, per-shard or
+    global crash injection, and stable iteration for recovery sweeps.
+    Shards fail independently — crashing one leaves the others' caches
+    and dirty data untouched, which :class:`~repro.core.sharded.ShardedTable`
+    exploits for partial-failure recovery.
+    """
+
+    def __init__(self, n_shards: int, factory: Callable[[int], "MemoryBackend"]) -> None:
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        self.shards: list[MemoryBackend] = [factory(i) for i in range(n_shards)]
+        self.name = f"sharded[{n_shards}]"
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return len(self.shards)
+
+    def shard(self, index: int) -> "MemoryBackend":
+        """The backend serving shard ``index``."""
+        if not 0 <= index < len(self.shards):
+            raise IndexError(f"shard {index} out of range [0, {len(self.shards)})")
+        return self.shards[index]
+
+    def __iter__(self):
+        """Iterate over the per-shard backends in shard order."""
+        return iter(self.shards)
+
+    @property
+    def size(self) -> int:
+        """Total capacity across shards, in bytes."""
+        return sum(s.size for s in self.shards)
+
+    @property
+    def bytes_allocated(self) -> int:
+        """Total allocator high-water mark across shards."""
+        return sum(s.bytes_allocated for s in self.shards)
+
+    @property
+    def stats(self) -> MemStats:
+        """Element-wise sum of every shard's counters (a fresh snapshot;
+        mutating it does not affect the shards)."""
+        total = MemStats()
+        for s in self.shards:
+            total = total.merged(s.stats)
+        return total
+
+    def crash(
+        self,
+        schedule: CrashSchedule | None = None,
+        *,
+        shard: int | None = None,
+    ) -> list[CrashReport]:
+        """Power-fail one shard (``shard=i``) or all of them.
+
+        Returns one :class:`CrashReport` per crashed shard, in shard
+        order. Un-crashed shards are untouched — their caches stay warm
+        and their unflushed data stays at risk."""
+        targets = self.shards if shard is None else [self.shard(shard)]
+        return [s.crash(schedule) for s in targets]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardedBackend(n_shards={self.n_shards}, size={self.size})"

@@ -160,6 +160,11 @@ class NVMRegion:
         """High-water mark of the bump allocator."""
         return self._alloc_cursor
 
+    @property
+    def line_size(self) -> int:
+        """Flush granularity in bytes (the cacheline)."""
+        return self._line
+
     # ------------------------------------------------------------------
     # cache plumbing
 
@@ -282,6 +287,41 @@ class NVMRegion:
                 f"atomic write requires {ATOMIC_UNIT}-byte alignment, got addr {addr}"
             )
         self.write_u64(addr, value)
+
+    # ------------------------------------------------------------------
+    # bulk probes (reference event semantics for every backend)
+
+    def scan_clear_u64(self, addr: int, stride: int, count: int, mask: int = 1) -> int | None:
+        """Index of the first of ``count`` strided header words with
+        ``(word & mask) == 0``, or None.
+
+        This loop of :meth:`read_u64` calls *is* the contract: the cache
+        behaviour, latency and event counts of a bulk probe are exactly
+        those of probing each word in turn and stopping at the first
+        clear one. Fast backends reimplement the loop natively."""
+        for i in range(count):
+            if not self.read_u64(addr) & mask:
+                return i
+            addr += stride
+        return None
+
+    def scan_match(
+        self, addr: int, stride: int, count: int, key: bytes, *, mask: int = 1, key_offset: int = 8
+    ) -> int | None:
+        """Index of the first of ``count`` strided cells that is occupied
+        (header byte 0 & ``mask``) and stores ``key`` at ``key_offset``.
+
+        Reference semantics: one ``read`` of header+key per probed cell
+        (a single simulated load — they travel together), stopping at
+        the match. This is the access pattern of the paper's contiguous
+        level-2 group scan."""
+        size = key_offset + len(key)
+        for i in range(count):
+            raw = self.read(addr, size)
+            if raw[0] & mask and raw[key_offset:] == key:
+                return i
+            addr += stride
+        return None
 
     # ------------------------------------------------------------------
     # persistence primitives

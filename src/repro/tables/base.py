@@ -25,11 +25,13 @@ baselines — derives from :class:`PersistentHashTable`, which provides:
 from __future__ import annotations
 
 import abc
+import hashlib
 import struct
 from typing import Iterator
 
 from repro.hashes import HashFamily
-from repro.nvm.memory import CACHELINE, NVMRegion
+from repro.nvm.backend import MemoryBackend
+from repro.nvm.memory import CACHELINE
 from repro.tables.cell import HEADER_SIZE, OCCUPIED_BIT, CellCodec, ItemSpec
 from repro.tables.wal import UndoLog
 
@@ -52,7 +54,7 @@ class PersistentHashTable(abc.ABC):
 
     def __init__(
         self,
-        region: NVMRegion,
+        region: MemoryBackend,
         n_cells: int,
         spec: ItemSpec | None = None,
         *,
@@ -77,9 +79,12 @@ class PersistentHashTable(abc.ABC):
         region.write_u64(self._count_addr, 0)
 
     def _magic(self) -> int:
-        return _MAGIC.unpack(
-            (self.scheme_name.encode() + b"\0" * 8)[:8]
-        )[0]
+        # 4 bytes of name prefix (human-greppable in a region dump) plus
+        # 4 bytes of a hash of the *full* name, so schemes sharing a long
+        # prefix stay distinguishable at recovery time.
+        name = self.scheme_name.encode()
+        digest = hashlib.blake2b(name, digest_size=4).digest()
+        return _MAGIC.unpack((name + b"\0" * 4)[:4] + digest)[0]
 
     def _finish_layout(self) -> None:
         """Subclasses call this after allocating their cell arrays, once
@@ -106,9 +111,18 @@ class PersistentHashTable(abc.ABC):
         """Remove ``key``; returns whether it was present."""
 
     def _locate(self, key: bytes) -> int | None:
-        """Address of the cell holding ``key``, or None. Subclasses with
-        a cell-addressed ``_find`` simply delegate; the base fallback
-        scans the inventory (correct for any scheme, O(capacity))."""
+        """Address of the cell holding ``key``, or None.
+
+        Delegates to the scheme's cell-addressed ``_find(key) -> addr``
+        when one is defined — every probe-structured scheme has one — so
+        an in-place update costs a probe, not a table sweep. The
+        inventory scan is only the fallback for schemes without a
+        ``_find`` (correct for any layout, O(capacity)). A scheme whose
+        ``_find`` returns something other than a cell address (linear
+        probing returns an index) must override ``_locate`` itself."""
+        find = getattr(self, "_find", None)
+        if find is not None:
+            return find(key)
         codec, region = self.codec, self.region
         for addr in self._iter_cell_addrs():
             occupied, cell_key = codec.probe(region, addr)
@@ -159,14 +173,29 @@ class PersistentHashTable(abc.ABC):
     # shared commit discipline
 
     def _install(self, addr: int, key: bytes, value: bytes) -> None:
-        """Commit one item into the (empty) cell at ``addr``."""
+        """Commit one item into the (empty) cell at ``addr``.
+
+        The codec helpers (``write_kv``/``set_occupied``/``kv_span``) are
+        inlined here — this commit sequence runs on every insert of every
+        scheme — but the region-level access sequence is exactly theirs.
+        """
         codec, region = self.codec, self.region
+        spec = codec.spec
+        if len(key) != spec.key_size or len(value) != spec.value_size:
+            raise ValueError(
+                f"item must be {spec.key_size}+{spec.value_size} bytes, "
+                f"got {len(key)}+{len(value)}"
+            )
         if self.log is not None:
             self.log.record(addr, codec.cell_size)
-        codec.write_kv(region, addr, key, value)
-        region.persist(*codec.kv_span(addr))
-        codec.set_occupied(region, addr, True)
+        # 1. key+value, persisted (codec.write_kv + kv_span persist)
+        kv_addr = addr + HEADER_SIZE
+        region.write(kv_addr, key + value)
+        region.persist(kv_addr, spec.item_size)
+        # 2. bitmap commit: atomic header store (codec.set_occupied)
+        region.write_atomic_u64(addr, region.read_u64(addr) | OCCUPIED_BIT)
         region.persist(addr, HEADER_SIZE)
+        # 3. persistent count
         self._set_count(self._count + 1)
 
     def _remove(self, addr: int) -> None:

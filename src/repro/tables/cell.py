@@ -11,7 +11,7 @@ header whose bit 0 is that bitmap (Design decision 3 in DESIGN.md):
 
 Cells are packed contiguously; the codec only does address arithmetic
 and (de)serialisation — all memory traffic goes through the owning
-table's :class:`~repro.nvm.memory.NVMRegion` so it is costed and
+table's :class:`~repro.nvm.backend.MemoryBackend` so it is costed and
 crash-visible.
 """
 
@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.nvm.memory import NVMRegion
+from repro.nvm.backend import MemoryBackend
 
 #: header bit 0: the paper's per-cell bitmap (1 = occupied)
 OCCUPIED_BIT = 1
@@ -70,23 +70,23 @@ class CellCodec:
 
     # -- reads ---------------------------------------------------------
 
-    def read_header(self, region: NVMRegion, addr: int) -> int:
+    def read_header(self, region: MemoryBackend, addr: int) -> int:
         """Load the header word of the cell at ``addr``."""
         return region.read_u64(addr)
 
-    def is_occupied(self, region: NVMRegion, addr: int) -> bool:
+    def is_occupied(self, region: MemoryBackend, addr: int) -> bool:
         """Whether the cell's bitmap bit is set."""
-        return bool(self.read_header(region, addr) & OCCUPIED_BIT)
+        return bool(region.read_u64(addr) & OCCUPIED_BIT)
 
-    def read_key(self, region: NVMRegion, addr: int) -> bytes:
+    def read_key(self, region: MemoryBackend, addr: int) -> bytes:
         """Load the key field."""
         return region.read(addr + self.key_offset, self.spec.key_size)
 
-    def read_value(self, region: NVMRegion, addr: int) -> bytes:
+    def read_value(self, region: MemoryBackend, addr: int) -> bytes:
         """Load the value field."""
         return region.read(addr + self.value_offset, self.spec.value_size)
 
-    def probe(self, region: NVMRegion, addr: int) -> tuple[bool, bytes]:
+    def probe(self, region: MemoryBackend, addr: int) -> tuple[bool, bytes]:
         """Load header + key in one access (one or two touched lines,
         but a single simulated load) — the common probe step."""
         raw = region.read(addr, HEADER_SIZE + self.spec.key_size)
@@ -95,7 +95,7 @@ class CellCodec:
 
     # -- writes (no persistence; callers sequence persists) -------------
 
-    def write_kv(self, region: NVMRegion, addr: int, key: bytes, value: bytes) -> None:
+    def write_kv(self, region: MemoryBackend, addr: int, key: bytes, value: bytes) -> None:
         """Store key and value fields (not the header) in one write."""
         if len(key) != self.spec.key_size or len(value) != self.spec.value_size:
             raise ValueError(
@@ -104,11 +104,11 @@ class CellCodec:
             )
         region.write(addr + HEADER_SIZE, key + value)
 
-    def clear_kv(self, region: NVMRegion, addr: int) -> None:
+    def clear_kv(self, region: MemoryBackend, addr: int) -> None:
         """Zero the key and value fields (the recovery Reset step)."""
         region.write(addr + HEADER_SIZE, self._empty_kv)
 
-    def set_occupied(self, region: NVMRegion, addr: int, occupied: bool) -> None:
+    def set_occupied(self, region: MemoryBackend, addr: int, occupied: bool) -> None:
         """Atomically update the bitmap bit — the commit point of insert
         and delete in every scheme."""
         header = self.read_header(region, addr)

@@ -28,7 +28,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.nvm.memory import CACHELINE, NVMRegion
+from repro.nvm.backend import MemoryBackend
+from repro.nvm.memory import CACHELINE
 from repro.tables.base import PersistentHashTable
 from repro.tables.cell import ItemSpec
 from repro.tables.wal import UndoLog
@@ -41,7 +42,7 @@ class LevelHashTable(PersistentHashTable):
 
     def __init__(
         self,
-        region: NVMRegion,
+        region: MemoryBackend,
         n_cells: int,
         spec: ItemSpec | None = None,
         *,
@@ -176,9 +177,6 @@ class LevelHashTable(PersistentHashTable):
                 if occupied and cell_key == key:
                     return addr
         return None
-
-    def _locate(self, key: bytes) -> int | None:
-        return self._find(key)
 
     def query(self, key: bytes) -> bytes | None:
         """Check the four candidate buckets (up to 16 contiguous cells

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.nvm.memory import CACHELINE, NVMRegion
+from repro.nvm.backend import MemoryBackend
+from repro.nvm.memory import CACHELINE
 from repro.tables.base import PersistentHashTable
 from repro.tables.cell import ItemSpec
 from repro.tables.wal import UndoLog
@@ -31,7 +32,7 @@ class LinearProbingTable(PersistentHashTable):
 
     def __init__(
         self,
-        region: NVMRegion,
+        region: MemoryBackend,
         n_cells: int,
         spec: ItemSpec | None = None,
         *,

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.nvm.memory import CACHELINE, NVMRegion
+from repro.nvm.backend import MemoryBackend
+from repro.nvm.memory import CACHELINE
 from repro.tables.base import PersistentHashTable
 from repro.tables.cell import ItemSpec
 from repro.tables.wal import UndoLog
@@ -37,7 +38,7 @@ class PathHashingTable(PersistentHashTable):
 
     def __init__(
         self,
-        region: NVMRegion,
+        region: MemoryBackend,
         n_cells: int,
         spec: ItemSpec | None = None,
         *,
@@ -119,9 +120,6 @@ class PathHashingTable(PersistentHashTable):
             if occupied and cell_key == key:
                 return addr
         return None
-
-    def _locate(self, key: bytes) -> int | None:
-        return self._find(key)
 
     def query(self, key: bytes) -> bytes | None:
         addr = self._find(key)

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.nvm.memory import CACHELINE, NVMRegion
+from repro.nvm.backend import MemoryBackend
+from repro.nvm.memory import CACHELINE
 from repro.tables.base import PersistentHashTable
 from repro.tables.cell import ItemSpec
 from repro.tables.wal import UndoLog
@@ -25,7 +26,7 @@ class TwoChoiceTable(PersistentHashTable):
 
     def __init__(
         self,
-        region: NVMRegion,
+        region: MemoryBackend,
         n_cells: int,
         spec: ItemSpec | None = None,
         *,
@@ -71,9 +72,6 @@ class TwoChoiceTable(PersistentHashTable):
             if occupied and cell_key == key:
                 return addr
         return None
-
-    def _locate(self, key: bytes) -> int | None:
-        return self._find(key)
 
     def query(self, key: bytes) -> bytes | None:
         addr = self._find(key)

@@ -21,7 +21,8 @@ reverse order, restoring the pre-operation image.
 
 from __future__ import annotations
 
-from repro.nvm.memory import CACHELINE, NVMRegion
+from repro.nvm.backend import MemoryBackend
+from repro.nvm.memory import CACHELINE
 
 
 class LogFullError(RuntimeError):
@@ -45,7 +46,7 @@ class UndoLog:
 
     def __init__(
         self,
-        region: NVMRegion,
+        region: MemoryBackend,
         *,
         record_size: int,
         capacity: int = 1024,
