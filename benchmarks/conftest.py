@@ -12,10 +12,17 @@ session and shared.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.bench.config import SCALES
 from repro.bench.experiments.latency_matrix import collect_matrix
+
+# benchmarks time wall-clock: results served from an on-disk cache would
+# measure JSON deserialisation instead of the simulator. Export the
+# kill-switch before any default engine can be constructed.
+os.environ.setdefault("REPRO_BENCH_NO_CACHE", "1")
 
 #: benchmarks run at the tiny scale so `pytest benchmarks/` stays fast;
 #: use `python -m repro.bench all --scale medium` for the full reports
@@ -29,9 +36,17 @@ def scale():
 
 
 @pytest.fixture(scope="session")
-def matrix():
+def engine():
+    """Serial, uncached engine: every cell genuinely executes."""
+    from repro.bench.engine import Engine
+
+    return Engine(jobs=1, cache=False)
+
+
+@pytest.fixture(scope="session")
+def matrix(engine):
     """(trace, load factor, scheme) → RunResult for the whole grid."""
-    return collect_matrix(SCALE, SEED)
+    return collect_matrix(SCALE, SEED, engine)
 
 
 def pairwise_ratio(matrix, trace, lf, logged, plain, op, metric):

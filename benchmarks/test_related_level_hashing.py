@@ -9,30 +9,33 @@ historically accurate relationships at equal cell budgets.
 import pytest
 
 from benchmarks.conftest import SCALE, SEED
-from repro.bench.runner import RunSpec, measure_space_utilization, run_workload
+from repro.bench.runner import RunSpec, UtilizationSpec
 
 
 @pytest.fixture(scope="module")
-def runs():
-    out = {}
-    for scheme in ("group", "level", "pfht"):
-        spec = RunSpec.from_scale(scheme, "randomnum", 0.5, SCALE, seed=SEED)
-        out[scheme] = run_workload(spec)
-    return out
+def runs(engine):
+    schemes = ("group", "level", "pfht")
+    specs = [
+        RunSpec.from_scale(scheme, "randomnum", 0.5, SCALE, seed=SEED)
+        for scheme in schemes
+    ]
+    return dict(zip(schemes, engine.run(specs)))
 
 
 @pytest.fixture(scope="module")
-def utilizations():
-    return {
-        scheme: measure_space_utilization(
-            scheme,
-            "randomnum",
+def utilizations(engine):
+    schemes = ("group", "level")
+    specs = [
+        UtilizationSpec(
+            scheme=scheme,
+            trace="randomnum",
             total_cells=SCALE.total_cells,
             group_size=SCALE.group_size,
             seed=SEED,
         )
-        for scheme in ("group", "level")
-    }
+        for scheme in schemes
+    ]
+    return dict(zip(schemes, engine.run(specs)))
 
 
 def test_level_utilization_exceeds_group(benchmark, utilizations):

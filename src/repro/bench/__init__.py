@@ -6,8 +6,13 @@ Entry points:
   ``fig2 fig5 fig6 fig7 fig8 table3 ablations all`` — prints the same
   rows/series the paper reports, from the simulator's clock and miss
   counters;
-- :func:`repro.bench.runner.run_workload` / ``measure_*`` for
-  programmatic use (the pytest benchmarks call these).
+- :class:`repro.bench.engine.Engine` for programmatic use — declare a
+  list of frozen specs and ``engine.run(specs)`` executes them with
+  process-level parallelism and a content-addressed result cache (the
+  pytest benchmarks go through this);
+- :func:`repro.bench.runner.run_workload` / ``measure_*`` for direct
+  single-run use where caching/parallelism would get in the way
+  (wall-clock timing loops).
 
 Scales: the paper fills 2^23–2^25-cell tables; a pure-Python simulator
 cannot, so every experiment takes a :class:`~repro.bench.config.Scale`
@@ -23,25 +28,40 @@ from repro.bench.config import (
     build_table,
     region_for,
 )
+from repro.bench.cache import ResultCache, code_version, spec_fingerprint
+from repro.bench.engine import Engine, default_engine
 from repro.bench.runner import (
+    NegativeQuerySpec,
     OpMetrics,
+    RecoverySpec,
     RunResult,
     RunSpec,
+    UtilizationSpec,
+    measure_negative_queries,
     measure_recovery,
     measure_space_utilization,
     run_workload,
 )
 
 __all__ = [
+    "Engine",
+    "NegativeQuerySpec",
     "OpMetrics",
+    "RecoverySpec",
+    "ResultCache",
     "RunResult",
     "RunSpec",
     "SCALES",
     "SCHEMES",
     "Scale",
+    "UtilizationSpec",
     "build_table",
+    "code_version",
+    "default_engine",
+    "measure_negative_queries",
     "measure_recovery",
     "measure_space_utilization",
     "region_for",
     "run_workload",
+    "spec_fingerprint",
 ]

@@ -1,13 +1,19 @@
 """CLI: ``python -m repro.bench <experiment> [--scale small] [--seed 42]``.
 
 Regenerates the paper's tables and figures as text reports. ``all`` runs
-every experiment in paper order.
+every experiment in paper order. Execution is handled by the
+:class:`~repro.bench.engine.Engine`: ``--jobs`` fans workload cells out
+across processes, and a content-addressed result cache (keyed on the
+spec fields plus a hash of the ``repro`` source tree) makes re-runs
+nearly free — ``--no-cache`` / ``--cache-dir`` override it, and
+``--profile`` runs one worker under :mod:`cProfile`.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -15,6 +21,7 @@ from repro.bench.config import SCALES
 from repro.bench.experiments import (
     ablations,
     backends,
+    engine as engine_exp,
     fig2,
     fig5,
     fig6,
@@ -39,7 +46,12 @@ EXPERIMENTS = {
     "writes": writes.run,
     "negative": negative.run,
     "backends": backends.run,
+    "engine": engine_exp.run,
 }
+
+#: experiments that measure wall-clock and therefore build their own
+#: engines (or none) — the CLI's engine flags do not apply to them
+_SELF_TIMED = {"backends", "engine"}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -71,7 +83,34 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also dump the structured results as JSON to PATH",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for workload cells (default: all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result-cache directory (default .bench-cache or "
+        "$REPRO_BENCH_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="execute every cell even if a cached result exists",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the first uncached cell under cProfile and print the "
+        "top-20 cumulative entries to stderr",
+    )
     args = parser.parse_args(argv)
+
+    from repro.bench.cache import NO_CACHE_ENV, ResultCache
+    from repro.bench.engine import Engine
 
     scale = SCALES["tiny"] if args.quick else SCALES[args.scale]
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -80,17 +119,32 @@ def main(argv: list[str] | None = None) -> int:
         names = [
             "fig2", "fig5", "fig6", "fig7", "fig8", "table3",
             "writes", "ablations", "sweep", "negative", "backends",
+            "engine",
         ]
+
+    jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
+    no_cache = args.no_cache or bool(os.environ.get(NO_CACHE_ENV))
+    cache: ResultCache | bool = False if no_cache else ResultCache(args.cache_dir)
+    eng = Engine(jobs=jobs, cache=cache, profile=args.profile)
 
     dump: dict[str, object] = {"scale": scale.name, "seed": args.seed}
     for name in names:
         start = time.perf_counter()
-        result = EXPERIMENTS[name](scale, seed=args.seed)
+        runner = EXPERIMENTS[name]
+        if name in _SELF_TIMED:
+            result = runner(scale, seed=args.seed)
+        else:
+            result = runner(scale, seed=args.seed, engine=eng)
         elapsed = time.perf_counter() - start
         print(hrule(f"{result.paper_ref} ({name}, scale={scale.name})"))
         print(result.text)
         print(f"  [wall-clock {elapsed:.1f}s — latencies above are simulated ns]")
         dump[name] = _jsonable(result.data)
+    if eng.cache:
+        print(
+            f"  [result cache: {eng.cache.hits} hit(s), "
+            f"{eng.cache.misses} miss(es) at {eng.cache.root}]"
+        )
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(dump, fh, indent=2)

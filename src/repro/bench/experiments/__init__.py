@@ -24,6 +24,20 @@ class ExperimentResult:
     data: dict[str, Any] = field(default_factory=dict)
     #: pre-rendered text report
     text: str = ""
+    #: measurement-quality warnings (e.g. measured-insert shortfalls)
+    warnings: list[str] = field(default_factory=list)
 
     def __str__(self) -> str:
         return self.text
+
+
+def attach_warnings(result: ExperimentResult, engine) -> ExperimentResult:
+    """Drain ``engine``'s accumulated warnings into ``result`` and append
+    them to the text report, so shortfalls are visible wherever the
+    report is read."""
+    from repro.bench.report import format_warnings
+
+    result.warnings = engine.take_warnings()
+    if result.warnings:
+        result.text += "\n\n" + format_warnings(result.warnings)
+    return result

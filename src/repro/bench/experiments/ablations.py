@@ -20,22 +20,29 @@ from __future__ import annotations
 from repro.bench.config import Scale
 from repro.bench.experiments import ExperimentResult
 from repro.bench.report import format_ratio_note, format_table
-from repro.bench.runner import (
-    RunSpec,
-    measure_space_utilization,
-    run_workload,
-)
+from repro.bench.runner import RunSpec, UtilizationSpec
 
 OPS = ("insert", "query", "delete")
 
+TECHS = ("dram", "stt-mram", "reram", "paper-nvm", "pcm")
 
-def run_technology(scale: Scale, seed: int = 42) -> ExperimentResult:
+
+def _engine_or_default(engine):
+    from repro.bench.engine import default_engine
+
+    return engine or default_engine()
+
+
+def run_technology(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
     """Measure group hashing across the Table 1 technology presets."""
+    engine = _engine_or_default(engine)
+    specs = [
+        RunSpec.from_scale("group", "randomnum", 0.5, scale, seed=seed, tech=tech)
+        for tech in TECHS
+    ]
     rows = []
     data = {}
-    for tech in ("dram", "stt-mram", "reram", "paper-nvm", "pcm"):
-        spec = RunSpec.from_scale("group", "randomnum", 0.5, scale, seed=seed, tech=tech)
-        r = run_workload(spec)
+    for tech, r in zip(TECHS, engine.run(specs)):
         values = {op: r.phase(op).avg_latency_ns for op in OPS}
         rows.append((tech, values))
         data[tech] = values
@@ -57,25 +64,31 @@ def run_technology(scale: Scale, seed: int = 42) -> ExperimentResult:
     return ExperimentResult(name="ablation-technology", paper_ref="Table 1", data=data, text=text)
 
 
-def run_clwb(scale: Scale, seed: int = 42) -> ExperimentResult:
+def run_clwb(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
     """Separate clflush-invalidation cost from write latency (clwb mode)."""
+    engine = _engine_or_default(engine)
+    cells = [
+        (scheme, label, invalidates)
+        for scheme in ("linear", "linear-L")
+        for invalidates, label in ((True, "clflush"), (False, "clwb"))
+    ]
+    specs = [
+        RunSpec.from_scale(scheme, "randomnum", 0.5, scale, seed=seed).replace(
+            flush_invalidates=invalidates
+        )
+        for scheme, _, invalidates in cells
+    ]
     rows = []
     data = {}
-    for scheme in ("linear", "linear-L"):
-        for invalidates, label in ((True, "clflush"), (False, "clwb")):
-            spec = RunSpec.from_scale(
-                scheme, "randomnum", 0.5, scale, seed=seed,
-            )
-            spec = RunSpec(**{**spec.__dict__, "flush_invalidates": invalidates})
-            r = run_workload(spec)
-            values = {
-                "insert_ns": r.insert.avg_latency_ns,
-                "insert_misses": r.insert.avg_misses,
-                "delete_ns": r.delete.avg_latency_ns,
-                "delete_misses": r.delete.avg_misses,
-            }
-            rows.append((f"{scheme}/{label}", values))
-            data[(scheme, label)] = values
+    for (scheme, label, _), r in zip(cells, engine.run(specs)):
+        values = {
+            "insert_ns": r.insert.avg_latency_ns,
+            "insert_misses": r.insert.avg_misses,
+            "delete_ns": r.delete.avg_latency_ns,
+            "delete_misses": r.delete.avg_misses,
+        }
+        rows.append((f"{scheme}/{label}", values))
+        data[(scheme, label)] = values
     text = "\n".join(
         [
             format_table(
@@ -164,22 +177,27 @@ def run_two_hash_group(scale: Scale, seed: int = 42) -> ExperimentResult:
     return ExperimentResult(name="ablation-two-hash", paper_ref="Section 4.4", data=data, text=text)
 
 
-def run_excluded_schemes(scale: Scale, seed: int = 42) -> ExperimentResult:
+def run_excluded_schemes(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
     """Measure the schemes Section 4.1 excludes (plus the
     contemporaneous level hashing and classic cuckoo), to verify the
     exclusion reasons and place the paper among its neighbours."""
+    engine = _engine_or_default(engine)
+    schemes = ("group", "level", "cuckoo", "chained", "two-choice")
+    workload_results = engine.run(
+        [RunSpec.from_scale(s, "randomnum", 0.25, scale, seed=seed) for s in schemes]
+    )
     rows = []
     data = {}
-    for scheme in ("group", "level", "cuckoo", "chained", "two-choice"):
-        spec = RunSpec.from_scale(scheme, "randomnum", 0.25, scale, seed=seed)
-        r = run_workload(spec)
+    for scheme, r in zip(schemes, workload_results):
         try:
-            utilization = measure_space_utilization(
-                scheme,
-                "randomnum",
-                total_cells=scale.total_cells,
-                group_size=scale.group_size,
-                seed=seed,
+            utilization = engine.run_one(
+                UtilizationSpec(
+                    scheme=scheme,
+                    trace="randomnum",
+                    total_cells=scale.total_cells,
+                    group_size=scale.group_size,
+                    seed=seed,
+                )
             )
         except RuntimeError:  # chained: fills the pool fully
             utilization = 1.0
@@ -282,13 +300,18 @@ def run_wear_leveling(scale: Scale, seed: int = 42) -> ExperimentResult:
     )
 
 
-def run(scale: Scale, seed: int = 42) -> ExperimentResult:
-    """All ablations, concatenated."""
+def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
+    """All ablations, concatenated.
+
+    The grid-shaped ablations (technology, clwb, excluded schemes)
+    funnel through the engine; the bespoke-table ablations (two-hash
+    group, wear leveling) build custom regions and stay inline."""
+    engine = _engine_or_default(engine)
     parts = [
-        run_technology(scale, seed),
-        run_clwb(scale, seed),
+        run_technology(scale, seed, engine),
+        run_clwb(scale, seed, engine),
         run_two_hash_group(scale, seed),
-        run_excluded_schemes(scale, seed),
+        run_excluded_schemes(scale, seed, engine),
         run_wear_leveling(scale, seed),
     ]
     return ExperimentResult(

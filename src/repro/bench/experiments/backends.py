@@ -49,9 +49,13 @@ def _timed_fill(table, keys: list[bytes], value: bytes) -> float:
     return time.perf_counter() - start
 
 
-def run(scale: Scale, seed: int = 42) -> ExperimentResult:
+def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
     """Compare backend wall-clock at 4x the scale's table size (2^16
-    cells at the default ``small`` scale)."""
+    cells at the default ``small`` scale).
+
+    ``engine`` is accepted for CLI uniformity but unused: wall-clock
+    timings must not be served from the result cache.
+    """
     spec = ItemSpec(8, 8)
     fill_cells = scale.total_cells * 4
     group_size = min(scale.group_size, fill_cells // 4)

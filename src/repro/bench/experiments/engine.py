@@ -1,0 +1,120 @@
+"""Engine characterisation — parallel speedup and cache effectiveness.
+
+Not a paper figure: this experiment measures the benchmark execution
+engine itself, on the Figure 5/6 spec grid.
+
+- **Parallel scaling**: the full grid is executed cold (fresh cache
+  directory) at ``jobs`` ∈ {1, 2, 4, 8} and the wall-clock speedup over
+  the serial run is reported. Speedup is bounded by the machine's core
+  count — the JSON payload records ``cpu_count`` so a 1-core CI runner's
+  flat curve reads as expected, not broken.
+- **Warm cache**: the grid is re-executed against the populated cache
+  and the warm/cold wall-clock fraction reported (target: well under
+  10 % — a warm run is pure JSON deserialisation).
+- **Determinism**: the serial and widest-parallel result sets are
+  serialised and compared byte-for-byte; ``identical`` must be true.
+
+Wall-clock numbers are machine-dependent by nature — the JSON payload
+records them for trend-watching, not for exact pinning.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from repro.bench.config import Scale
+from repro.bench.experiments import ExperimentResult
+from repro.bench.experiments.latency_matrix import grid_specs
+from repro.bench.report import format_ratio_note, format_table
+
+#: worker counts swept by the scaling measurement
+JOBS_SWEEP = (1, 2, 4, 8)
+
+
+def _encode_results(results) -> bytes:
+    """Canonical byte serialisation of a result list (order-preserving)."""
+    return json.dumps(
+        [r.to_dict() for r in results], sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
+    """Measure the engine's parallel scaling and cache hit path.
+
+    The ``engine`` argument is accepted for CLI uniformity but unused:
+    this experiment constructs its own engines (it measures them).
+    """
+    from repro.bench.cache import ResultCache
+    from repro.bench.engine import Engine
+
+    specs = list(grid_specs(scale, seed).values())
+    cpu_count = os.cpu_count() or 1
+
+    rows = []
+    data: dict[str, object] = {
+        "cpu_count": cpu_count,
+        "grid_cells": len(specs),
+        "jobs": {},
+    }
+    encodings: dict[int, bytes] = {}
+    serial_cold = None
+    with tempfile.TemporaryDirectory(prefix="bench-engine-") as tmp:
+        for jobs in JOBS_SWEEP:
+            root = os.path.join(tmp, f"jobs{jobs}")
+            cold_engine = Engine(jobs=jobs, cache=ResultCache(root))
+            start = time.perf_counter()
+            results = cold_engine.run(specs)
+            cold = time.perf_counter() - start
+            encodings[jobs] = _encode_results(results)
+
+            warm_engine = Engine(jobs=jobs, cache=ResultCache(root))
+            start = time.perf_counter()
+            warm_engine.run(specs)
+            warm = time.perf_counter() - start
+            if warm_engine.cache.misses:
+                raise RuntimeError(
+                    f"warm run missed the cache {warm_engine.cache.misses} times"
+                )
+
+            if serial_cold is None:
+                serial_cold = cold
+            row = {
+                "cold_s": cold,
+                "warm_s": warm,
+                "speedup": serial_cold / cold if cold else float("inf"),
+                "warm_fraction": warm / cold if cold else 0.0,
+            }
+            data["jobs"][jobs] = row  # type: ignore[index]
+            rows.append((f"jobs={jobs}", row))
+
+    identical = all(enc == encodings[1] for enc in encodings.values())
+    data["identical"] = identical
+    if not identical:
+        raise RuntimeError("parallel execution changed the results")
+
+    best = max(JOBS_SWEEP, key=lambda j: data["jobs"][j]["speedup"])  # type: ignore[index]
+    text = "\n".join(
+        [
+            format_table(
+                f"Engine: cold/warm wall-clock over the {len(specs)}-cell "
+                f"Figure 5/6 grid ({cpu_count} CPU core(s) available)",
+                ("cold_s", "warm_s", "speedup", "warm_fraction"),
+                rows,
+                precision=3,
+            ),
+            format_ratio_note(
+                f"best speedup {data['jobs'][best]['speedup']:.2f}x at "  # type: ignore[index]
+                f"jobs={best}; results byte-identical across worker counts; "
+                "speedup is bounded by the core count above"
+            ),
+        ]
+    )
+    return ExperimentResult(
+        name="engine",
+        paper_ref="Engine characterisation (infrastructure, not a paper figure)",
+        data=data,
+        text=text,
+    )

@@ -11,21 +11,25 @@ unaffected (logging touches only write paths).
 from __future__ import annotations
 
 from repro.bench.config import Scale
-from repro.bench.experiments import ExperimentResult
+from repro.bench.experiments import ExperimentResult, attach_warnings
 from repro.bench.report import format_ratio_note, format_table
-from repro.bench.runner import RunSpec, run_workload
+from repro.bench.runner import RunSpec
 
 PAIRS = (("linear", "linear-L"), ("pfht", "pfht-L"), ("path", "path-L"))
 OPS = ("insert", "query", "delete")
 
 
-def run(scale: Scale, seed: int = 42) -> ExperimentResult:
+def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
     """Run the Figure 2 consistency-cost experiment at ``scale``."""
-    results = {}
-    for plain, logged in PAIRS:
-        for scheme in (plain, logged):
-            spec = RunSpec.from_scale(scheme, "randomnum", 0.5, scale, seed=seed)
-            results[scheme] = run_workload(spec)
+    from repro.bench.engine import default_engine
+
+    engine = engine or default_engine()
+    schemes = [scheme for pair in PAIRS for scheme in pair]
+    specs = [
+        RunSpec.from_scale(scheme, "randomnum", 0.5, scale, seed=seed)
+        for scheme in schemes
+    ]
+    results = dict(zip(schemes, engine.run(specs)))
 
     latency_rows = []
     miss_rows = []
@@ -78,7 +82,7 @@ def run(scale: Scale, seed: int = 42) -> ExperimentResult:
             ),
         ]
     )
-    return ExperimentResult(
+    result = ExperimentResult(
         name="fig2",
         paper_ref="Figure 2",
         data={
@@ -89,3 +93,4 @@ def run(scale: Scale, seed: int = 42) -> ExperimentResult:
         },
         text=text,
     )
+    return attach_warnings(result, engine)

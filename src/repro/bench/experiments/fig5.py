@@ -14,7 +14,7 @@ simulated nanoseconds per request. The paper's qualitative shape:
 from __future__ import annotations
 
 from repro.bench.config import SCHEMES, Scale
-from repro.bench.experiments import ExperimentResult
+from repro.bench.experiments import ExperimentResult, attach_warnings
 from repro.bench.experiments.latency_matrix import (
     LOAD_FACTORS,
     OPS,
@@ -24,9 +24,12 @@ from repro.bench.experiments.latency_matrix import (
 from repro.bench.report import format_table
 
 
-def run(scale: Scale, seed: int = 42) -> ExperimentResult:
+def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
     """Run the Figure 5 latency grid at ``scale``."""
-    matrix = collect_matrix(scale, seed)
+    from repro.bench.engine import default_engine
+
+    engine = engine or default_engine()
+    matrix = collect_matrix(scale, seed, engine)
     sections = []
     data: dict[str, dict] = {}
     for trace in TRACES:
@@ -48,9 +51,10 @@ def run(scale: Scale, seed: int = 42) -> ExperimentResult:
                     unit="simulated ns/request",
                 )
             )
-    return ExperimentResult(
+    result = ExperimentResult(
         name="fig5",
         paper_ref="Figure 5",
         data=data,
         text="\n\n".join(sections),
     )
+    return attach_warnings(result, engine)

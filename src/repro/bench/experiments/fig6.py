@@ -11,7 +11,7 @@ through clflush-invalidated log and cell lines.
 from __future__ import annotations
 
 from repro.bench.config import SCHEMES, Scale
-from repro.bench.experiments import ExperimentResult
+from repro.bench.experiments import ExperimentResult, attach_warnings
 from repro.bench.experiments.latency_matrix import (
     LOAD_FACTORS,
     OPS,
@@ -21,9 +21,12 @@ from repro.bench.experiments.latency_matrix import (
 from repro.bench.report import format_table
 
 
-def run(scale: Scale, seed: int = 42) -> ExperimentResult:
+def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
     """Run the Figure 6 miss grid at ``scale``."""
-    matrix = collect_matrix(scale, seed)
+    from repro.bench.engine import default_engine
+
+    engine = engine or default_engine()
+    matrix = collect_matrix(scale, seed, engine)
     sections = []
     data: dict[str, dict] = {}
     for trace in TRACES:
@@ -44,9 +47,10 @@ def run(scale: Scale, seed: int = 42) -> ExperimentResult:
                     precision=2,
                 )
             )
-    return ExperimentResult(
+    result = ExperimentResult(
         name="fig6",
         paper_ref="Figure 6",
         data=data,
         text="\n\n".join(sections),
     )
+    return attach_warnings(result, engine)

@@ -16,26 +16,34 @@ from __future__ import annotations
 from repro.bench.config import Scale
 from repro.bench.experiments import ExperimentResult
 from repro.bench.report import format_ratio_note, format_table
-from repro.bench.runner import measure_space_utilization
+from repro.bench.runner import UtilizationSpec
 
 SCHEMES = ("pfht", "path", "group")
 TRACES = ("randomnum", "bagofwords", "fingerprint")
 
 
-def run(scale: Scale, seed: int = 42) -> ExperimentResult:
+def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
     """Run the Figure 7 utilization experiment at ``scale``."""
+    from repro.bench.engine import default_engine
+
+    engine = engine or default_engine()
+    cells = [(scheme, trace) for scheme in SCHEMES for trace in TRACES]
+    specs = [
+        UtilizationSpec(
+            scheme=scheme,
+            trace=trace,
+            total_cells=scale.total_cells,
+            group_size=scale.group_size,
+            seed=seed,
+        )
+        for scheme, trace in cells
+    ]
+    utils = dict(zip(cells, engine.run(specs)))
+
     data: dict[str, dict[str, float]] = {}
     rows = []
     for scheme in SCHEMES:
-        values = {}
-        for trace in TRACES:
-            values[trace] = measure_space_utilization(
-                scheme,
-                trace,
-                total_cells=scale.total_cells,
-                group_size=scale.group_size,
-                seed=seed,
-            )
+        values = {trace: utils[(scheme, trace)] for trace in TRACES}
         data[scheme] = values
         rows.append((scheme, values))
     text = "\n".join(

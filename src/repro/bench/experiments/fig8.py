@@ -13,38 +13,44 @@ larger groups mean longer collision scans but more sharing flexibility;
 from __future__ import annotations
 
 from repro.bench.config import Scale
-from repro.bench.experiments import ExperimentResult
+from repro.bench.experiments import ExperimentResult, attach_warnings
 from repro.bench.report import format_ratio_note, format_table
-from repro.bench.runner import (
-    RunSpec,
-    measure_space_utilization,
-    run_workload,
-)
+from repro.bench.runner import RunSpec, UtilizationSpec
 
 OPS = ("insert", "query", "delete")
 
 
-def run(scale: Scale, seed: int = 42) -> ExperimentResult:
+def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
     """Run the Figure 8 group-size sweep at ``scale``."""
-    latency_rows = []
-    util_rows = []
-    data: dict[int, dict] = {}
-    for group_size in scale.group_sizes:
-        spec = RunSpec.from_scale(
+    from repro.bench.engine import default_engine
+
+    engine = engine or default_engine()
+    # one mixed batch: a workload run and a utilization run per size
+    run_specs = [
+        RunSpec.from_scale(
             "group", "randomnum", 0.5, scale, seed=seed
-        )
-        spec = RunSpec(
-            **{**spec.__dict__, "group_size": group_size}
-        )
-        result = run_workload(spec)
-        latencies = {op: result.phase(op).avg_latency_ns for op in OPS}
-        util = measure_space_utilization(
-            "group",
-            "randomnum",
+        ).replace(group_size=group_size)
+        for group_size in scale.group_sizes
+    ]
+    util_specs = [
+        UtilizationSpec(
+            scheme="group",
+            trace="randomnum",
             total_cells=scale.total_cells,
             group_size=group_size,
             seed=seed,
         )
+        for group_size in scale.group_sizes
+    ]
+    outcomes = engine.run([*run_specs, *util_specs])
+    n = len(scale.group_sizes)
+    results, utils = outcomes[:n], outcomes[n:]
+
+    latency_rows = []
+    util_rows = []
+    data: dict[int, dict] = {}
+    for group_size, result, util in zip(scale.group_sizes, results, utils):
+        latencies = {op: result.phase(op).avg_latency_ns for op in OPS}
         latency_rows.append((str(group_size), latencies))
         util_rows.append((str(group_size), {"utilization": util}))
         data[group_size] = {"latency": latencies, "utilization": util}
@@ -70,4 +76,5 @@ def run(scale: Scale, seed: int = 42) -> ExperimentResult:
             ),
         ]
     )
-    return ExperimentResult(name="fig8", paper_ref="Figure 8", data=data, text=text)
+    result = ExperimentResult(name="fig8", paper_ref="Figure 8", data=data, text=text)
+    return attach_warnings(result, engine)

@@ -2,14 +2,16 @@
 
 Both figures come from the same runs — Figure 5 reports the simulated
 request latency and Figure 6 the L3 miss counts — so the matrix of
-(trace × load factor × scheme) workload runs is collected once and
-memoised per (scale, seed).
+(trace × load factor × scheme) workload runs is declared as one spec
+grid, executed through the :class:`~repro.bench.engine.Engine` (which
+parallelises and caches the cells), and memoised per (scale, seed)
+within the process.
 """
 
 from __future__ import annotations
 
 from repro.bench.config import SCHEMES, Scale
-from repro.bench.runner import RunResult, RunSpec, run_workload
+from repro.bench.runner import RunResult, RunSpec
 
 #: the paper's evaluation grid
 TRACES = ("randomnum", "bagofwords", "fingerprint")
@@ -19,19 +21,29 @@ OPS = ("insert", "query", "delete")
 _cache: dict[tuple[str, int], dict[tuple[str, float, str], RunResult]] = {}
 
 
+def grid_specs(scale: Scale, seed: int = 42) -> dict[tuple[str, float, str], RunSpec]:
+    """The full (trace, load factor, scheme) grid as ordered specs."""
+    return {
+        (trace, lf, scheme): RunSpec.from_scale(scheme, trace, lf, scale, seed=seed)
+        for trace in TRACES
+        for lf in LOAD_FACTORS
+        for scheme in SCHEMES
+    }
+
+
 def collect_matrix(
-    scale: Scale, seed: int = 42
+    scale: Scale, seed: int = 42, engine=None
 ) -> dict[tuple[str, float, str], RunResult]:
     """Run (or fetch memoised) workloads for every grid cell."""
     key = (scale.name, seed)
     if key in _cache:
         return _cache[key]
-    matrix: dict[tuple[str, float, str], RunResult] = {}
-    for trace in TRACES:
-        for lf in LOAD_FACTORS:
-            for scheme in SCHEMES:
-                spec = RunSpec.from_scale(scheme, trace, lf, scale, seed=seed)
-                matrix[(trace, lf, scheme)] = run_workload(spec)
+    from repro.bench.engine import default_engine
+
+    engine = engine or default_engine()
+    specs = grid_specs(scale, seed)
+    results = engine.run(list(specs.values()))
+    matrix = dict(zip(specs.keys(), results))
     _cache[key] = matrix
     return matrix
 

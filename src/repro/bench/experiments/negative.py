@@ -18,44 +18,41 @@ design hides, and a caveat EXPERIMENTS.md states explicitly.
 
 from __future__ import annotations
 
-from repro.bench.config import Scale, build_table, make_trace
+from repro.bench.config import Scale
 from repro.bench.experiments import ExperimentResult
 from repro.bench.report import format_ratio_note, format_table
-from repro.bench.runner import fill_to_load_factor
+from repro.bench.runner import NegativeQuerySpec
 
 SCHEMES = ("linear", "pfht", "path", "group", "level")
 LOAD_FACTORS = (0.5, 0.75)
 
 
-def run(scale: Scale, seed: int = 42) -> ExperimentResult:
+def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
     """Run the negative-query extension experiment at ``scale``."""
+    from repro.bench.engine import default_engine
+
+    engine = engine or default_engine()
+    cells = [(scheme, lf) for scheme in SCHEMES for lf in LOAD_FACTORS]
+    specs = [
+        NegativeQuerySpec(
+            scheme=scheme,
+            load_factor=lf,
+            total_cells=scale.total_cells,
+            group_size=scale.group_size,
+            measure_ops=scale.measure_ops,
+            cache_ratio=scale.cache_ratio,
+            seed=seed,
+        )
+        for scheme, lf in cells
+    ]
+    outcomes = dict(zip(cells, engine.run(specs)))
+
     data: dict[str, dict[float, dict[str, float]]] = {}
     rows_by_lf: dict[float, list] = {lf: [] for lf in LOAD_FACTORS}
     for scheme in SCHEMES:
         data[scheme] = {}
         for lf in LOAD_FACTORS:
-            trace = make_trace("randomnum", seed=seed)
-            built = build_table(
-                scheme,
-                scale.total_cells,
-                trace.spec,
-                group_size=scale.group_size,
-                seed=seed,
-                cache_ratio=scale.cache_ratio,
-            )
-            stream = trace.unique_items()
-            fill_to_load_factor(built, stream, lf)
-            # absent keys: same distribution, never inserted
-            absent = [key for key, _ in (next(stream) for _ in range(scale.measure_ops))]
-            region, table = built.region, built.table
-            before = region.stats.snapshot()
-            for key in absent:
-                assert table.query(key) is None
-            delta = region.stats.delta(before)
-            values = {
-                "latency_ns": delta.sim_time_ns / len(absent),
-                "misses": delta.cache_misses / len(absent),
-            }
+            values = outcomes[(scheme, lf)]
             data[scheme][lf] = values
             rows_by_lf[lf].append((scheme, values))
     sections = [

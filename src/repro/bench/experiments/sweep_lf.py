@@ -11,25 +11,32 @@ level-2 fill.
 from __future__ import annotations
 
 from repro.bench.config import Scale
-from repro.bench.experiments import ExperimentResult
+from repro.bench.experiments import ExperimentResult, attach_warnings
 from repro.bench.report import format_ratio_note, format_table
-from repro.bench.runner import RunSpec, run_workload
+from repro.bench.runner import RunSpec
 
 SCHEMES = ("linear", "pfht", "path", "group")
 LOAD_FACTORS = (0.1, 0.25, 0.4, 0.55, 0.7, 0.85)
 OPS = ("insert", "query", "delete")
 
 
-def run(scale: Scale, seed: int = 42) -> ExperimentResult:
+def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
     """Run the load-factor sweep extension at ``scale``."""
+    from repro.bench.engine import default_engine
+
+    engine = engine or default_engine()
+    cells = [(scheme, lf) for scheme in SCHEMES for lf in LOAD_FACTORS]
+    specs = [
+        RunSpec.from_scale(scheme, "randomnum", lf, scale, seed=seed)
+        for scheme, lf in cells
+    ]
+    results = dict(zip(cells, engine.run(specs)))
+
     data: dict[str, dict[float, dict[str, float]]] = {s: {} for s in SCHEMES}
-    for scheme in SCHEMES:
-        for lf in LOAD_FACTORS:
-            spec = RunSpec.from_scale(scheme, "randomnum", lf, scale, seed=seed)
-            result = run_workload(spec)
-            data[scheme][lf] = {
-                op: result.phase(op).avg_latency_ns for op in OPS
-            } | {f"{op}_misses": result.phase(op).avg_misses for op in OPS}
+    for (scheme, lf), result in results.items():
+        data[scheme][lf] = {
+            op: result.phase(op).avg_latency_ns for op in OPS
+        } | {f"{op}_misses": result.phase(op).avg_misses for op in OPS}
 
     sections = []
     for op in OPS:
@@ -54,9 +61,10 @@ def run(scale: Scale, seed: int = 42) -> ExperimentResult:
             "two columns of these curves"
         )
     )
-    return ExperimentResult(
+    result = ExperimentResult(
         name="sweep",
         paper_ref="extension (load-factor curves)",
         data=data,
         text="\n\n".join(sections),
     )
+    return attach_warnings(result, engine)

@@ -16,19 +16,25 @@ from __future__ import annotations
 from repro.bench.config import Scale
 from repro.bench.experiments import ExperimentResult
 from repro.bench.report import format_ratio_note, format_table
-from repro.bench.runner import measure_recovery
+from repro.bench.runner import RecoverySpec
 
 COLUMNS = ("table_mb", "recovery_ms", "execution_ms", "percentage")
 
 
-def run(scale: Scale, seed: int = 42) -> ExperimentResult:
+def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
     """Run the Table 3 recovery experiment at ``scale``."""
+    from repro.bench.engine import default_engine
+
+    engine = engine or default_engine()
+    specs = [
+        RecoverySpec(total_cells=cells, group_size=scale.group_size, seed=seed)
+        for cells in scale.recovery_cells
+    ]
+    results = engine.run(specs)
+
     rows = []
     data: dict[int, dict[str, float]] = {}
-    for cells in scale.recovery_cells:
-        result = measure_recovery(
-            total_cells=cells, group_size=scale.group_size, seed=seed
-        )
+    for cells, result in zip(scale.recovery_cells, results):
         result["table_mb"] = result["table_bytes"] / (1 << 20)
         data[cells] = result
         rows.append((f"{cells} cells", {c: result[c] for c in COLUMNS}))

@@ -25,9 +25,9 @@ from repro.bench.report import format_ratio_note, format_table
 COLUMNS = ("ins_bytes", "ins_flushes", "del_bytes", "del_flushes", "amplification")
 
 
-def run(scale: Scale, seed: int = 42) -> ExperimentResult:
+def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
     """Run the write-traffic extension experiment at ``scale``."""
-    matrix = collect_matrix(scale, seed)
+    matrix = collect_matrix(scale, seed, engine)
     rows = []
     data = {}
     for scheme in SCHEMES:

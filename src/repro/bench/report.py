@@ -38,6 +38,11 @@ def format_ratio_note(note: str) -> str:
     return f"  -> {note}"
 
 
+def format_warnings(warnings: Sequence[str]) -> str:
+    """Measurement-quality warnings block (e.g. insert shortfalls)."""
+    return "\n".join(f"  !! warning: {w}" for w in warnings)
+
+
 def hrule(title: str) -> str:
     """Section separator used between experiments in `bench all`."""
     bar = "=" * max(8, 72 - len(title) - 2)

@@ -18,6 +18,7 @@ Algorithm 4 on the simulator clock.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -59,10 +60,103 @@ class RunSpec:
             **kw,
         )
 
+    def replace(self, **changes) -> "RunSpec":
+        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-ready field dict (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class UtilizationSpec:
+    """One Figure 7 / Figure 8(b) cell: insert-to-first-failure.
+
+    Executing it yields the load factor at the first rejected insert
+    (see :func:`measure_space_utilization`)."""
+
+    scheme: str
+    trace: str = "randomnum"
+    total_cells: int = 1 << 14
+    group_size: int = 256
+    seed: int = 42
+
+    def to_dict(self) -> dict:
+        """JSON-ready field dict (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "UtilizationSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class RecoverySpec:
+    """One Table 3 row: fill, crash, time the Algorithm 4 scan.
+
+    Executing it yields :func:`measure_recovery`'s column dict."""
+
+    total_cells: int
+    group_size: int = 256
+    load_factor: float = 0.5
+    trace: str = "randomnum"
+    seed: int = 42
+
+    def to_dict(self) -> dict:
+        """JSON-ready field dict (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RecoverySpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class NegativeQuerySpec:
+    """One absent-key-query cell (the ``negative`` experiment).
+
+    Executing it yields ``{"latency_ns": ..., "misses": ...}`` per
+    negative lookup (see :func:`measure_negative_queries`)."""
+
+    scheme: str
+    trace: str = "randomnum"
+    load_factor: float = 0.5
+    total_cells: int = 1 << 14
+    group_size: int = 256
+    measure_ops: int = 500
+    cache_ratio: float = 8.0
+    seed: int = 42
+
+    def to_dict(self) -> dict:
+        """JSON-ready field dict (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NegativeQuerySpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(**data)
+
 
 @dataclass
 class OpMetrics:
-    """Per-phase counters reduced to the paper's reported quantities."""
+    """Per-phase counters reduced to the paper's reported quantities.
+
+    ``ops`` is the denominator used for the per-request averages — the
+    operations that actually *executed and succeeded* (clamped to ≥ 1 so
+    averages stay defined). ``attempted`` records how many operations
+    the protocol tried; near capacity, measured inserts can fail, and a
+    silent ``attempted > ops`` shortfall would make the averaged
+    latencies look better than the workload experienced. Reports warn
+    when the two differ (:attr:`shortfall`).
+    """
 
     ops: int = 0
     sim_ns: float = 0.0
@@ -70,9 +164,11 @@ class OpMetrics:
     flushes: int = 0
     fences: int = 0
     nvm_bytes_written: int = 0
+    #: operations attempted by the protocol (0 = not recorded)
+    attempted: int = 0
 
     @classmethod
-    def from_delta(cls, ops: int, delta: MemStats) -> "OpMetrics":
+    def from_delta(cls, ops: int, delta: MemStats, *, attempted: int = 0) -> "OpMetrics":
         return cls(
             ops=ops,
             sim_ns=delta.sim_time_ns,
@@ -80,7 +176,23 @@ class OpMetrics:
             flushes=delta.flushes,
             fences=delta.fences,
             nvm_bytes_written=delta.nvm_bytes_written,
+            attempted=attempted,
         )
+
+    @property
+    def shortfall(self) -> int:
+        """Attempted-but-unexecuted operations (0 when fully measured
+        or when ``attempted`` was not recorded)."""
+        return max(0, self.attempted - self.ops)
+
+    def to_dict(self) -> dict:
+        """JSON-ready field dict (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OpMetrics":
+        """Rebuild metrics from :meth:`to_dict` output."""
+        return cls(**data)
 
     @property
     def avg_latency_ns(self) -> float:
@@ -114,6 +226,40 @@ class RunResult:
     def phase(self, name: str) -> OpMetrics:
         """Metrics for one measured phase ("insert"/"query"/"delete")."""
         return {"insert": self.insert, "query": self.query, "delete": self.delete}[name]
+
+    def shortfalls(self) -> dict[str, int]:
+        """Phases whose measured-op count fell short of the attempts."""
+        out = {}
+        for name in ("insert", "query", "delete"):
+            if self.phase(name).shortfall:
+                out[name] = self.phase(name).shortfall
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-ready nested dict (inverse of :meth:`from_dict`)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "insert": self.insert.to_dict(),
+            "query": self.query.to_dict(),
+            "delete": self.delete.to_dict(),
+            "fill_count": self.fill_count,
+            "capacity": self.capacity,
+            "fill_failures": self.fill_failures,
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        return cls(
+            spec=RunSpec.from_dict(data["spec"]),
+            insert=OpMetrics.from_dict(data["insert"]),
+            query=OpMetrics.from_dict(data["query"]),
+            delete=OpMetrics.from_dict(data["delete"]),
+            fill_count=data["fill_count"],
+            capacity=data["capacity"],
+            fill_failures=data["fill_failures"],
+            extras=dict(data.get("extras", {})),
+        )
 
 
 def fill_to_load_factor(
@@ -174,7 +320,7 @@ def run_workload(spec: RunSpec) -> RunResult:
         if table.insert(key, value):
             inserted.append((key, value))
     insert_metrics = OpMetrics.from_delta(
-        max(1, len(inserted)), region.stats.delta(before)
+        max(1, len(inserted)), region.stats.delta(before), attempted=len(fresh)
     )
 
     # "query and delete 1000 items from the hash table": sample resident
@@ -190,7 +336,8 @@ def run_workload(spec: RunSpec) -> RunResult:
         found = table.query(key)
         assert found == value, f"{spec.scheme}: query returned wrong value"
     query_metrics = OpMetrics.from_delta(
-        max(1, len(targets)), region.stats.delta(before)
+        max(1, len(targets)), region.stats.delta(before),
+        attempted=spec.measure_ops,
     )
 
     before = region.stats.snapshot()
@@ -198,7 +345,8 @@ def run_workload(spec: RunSpec) -> RunResult:
         deleted = table.delete(key)
         assert deleted, f"{spec.scheme}: delete lost an item"
     delete_metrics = OpMetrics.from_delta(
-        max(1, len(targets)), region.stats.delta(before)
+        max(1, len(targets)), region.stats.delta(before),
+        attempted=spec.measure_ops,
     )
 
     return RunResult(
@@ -267,3 +415,53 @@ def measure_recovery(
         "execution_ms": execution_ns / 1e6,
         "percentage": 100.0 * recovery_ns / execution_ns if execution_ns else 0.0,
     }
+
+
+def measure_negative_queries(spec: NegativeQuerySpec) -> dict[str, float]:
+    """Absent-key lookups: fill to the load factor, then query keys from
+    the same distribution that were never inserted (the ``negative``
+    experiment — a case the paper's protocol never measures)."""
+    trace = make_trace(spec.trace, seed=spec.seed)
+    built = build_table(
+        spec.scheme,
+        spec.total_cells,
+        trace.spec,
+        group_size=spec.group_size,
+        seed=spec.seed,
+        cache_ratio=spec.cache_ratio,
+    )
+    stream = trace.unique_items()
+    fill_to_load_factor(built, stream, spec.load_factor)
+    # absent keys: same distribution, never inserted
+    absent = [key for key, _ in (next(stream) for _ in range(spec.measure_ops))]
+    region, table = built.region, built.table
+    before = region.stats.snapshot()
+    for key in absent:
+        assert table.query(key) is None
+    delta = region.stats.delta(before)
+    return {
+        "latency_ns": delta.sim_time_ns / len(absent),
+        "misses": delta.cache_misses / len(absent),
+    }
+
+
+def run_utilization_spec(spec: UtilizationSpec) -> float:
+    """Execute one :class:`UtilizationSpec`."""
+    return measure_space_utilization(
+        spec.scheme,
+        spec.trace,
+        total_cells=spec.total_cells,
+        group_size=spec.group_size,
+        seed=spec.seed,
+    )
+
+
+def run_recovery_spec(spec: RecoverySpec) -> dict[str, float]:
+    """Execute one :class:`RecoverySpec`."""
+    return measure_recovery(
+        total_cells=spec.total_cells,
+        group_size=spec.group_size,
+        load_factor=spec.load_factor,
+        trace_name=spec.trace,
+        seed=spec.seed,
+    )

@@ -67,6 +67,8 @@ class CacheSim:
     access funnels through here.
     """
 
+    __slots__ = ("config", "_n_sets", "_assoc", "_sets")
+
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self._n_sets = config.n_sets
@@ -94,6 +96,23 @@ class CacheSim:
             evicted = (victim, bucket.pop(victim))
         bucket[line] = is_write
         return False, evicted
+
+    def touch_mru(self, line: int, is_write: bool) -> None:
+        """Repeat-touch a line the caller *knows* is resident and MRU.
+
+        Equivalent to :meth:`access` for that case but skips the LRU
+        pop/reinsert: the line is already in MRU position, so only the
+        dirty flag may need upgrading, and a dict value assignment does
+        not disturb insertion order. :class:`~repro.nvm.memory.NVMRegion`
+        uses this from its repeated-same-line fast path; calling it for
+        a non-resident line raises ``KeyError`` (by design — it would
+        mean the caller's residency invariant is broken).
+        """
+        bucket = self._sets[line % self._n_sets]
+        if is_write and not bucket[line]:
+            bucket[line] = True
+        else:
+            bucket[line]  # noqa: B018 — residency assertion on reads
 
     def flush(self, line: int) -> tuple[bool, bool]:
         """``clflush`` semantics: invalidate ``line``.

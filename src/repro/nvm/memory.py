@@ -93,7 +93,30 @@ class NVMRegion:
     All addresses are offsets into the region. Use :meth:`alloc` to carve
     named extents (tables allocate their levels and metadata blocks this
     way) and the ``read``/``write``/``persist`` family for data access.
+
+    ``__slots__`` covers the base class; subclasses (e.g.
+    :class:`~repro.nvm.wearlevel.WearLevelledRegion`) may still add
+    attributes — they get a ``__dict__`` of their own.
     """
+
+    __slots__ = (
+        "name",
+        "size",
+        "config",
+        "_latency",
+        "_persistent",
+        "_volatile",
+        "cache",
+        "stats",
+        "_line",
+        "_alloc_cursor",
+        "allocations",
+        "_crash_countdown",
+        "wear",
+        "event_hook",
+        "_prev_line",
+        "_fast_line",
+    )
 
     def __init__(
         self,
@@ -129,6 +152,12 @@ class NVMRegion:
         # miss on line N+1 right after touching line N is treated as
         # prefetch-covered (see LatencyModel.prefetch_hit_ns)
         self._prev_line = -(1 << 30)
+        # fast-path marker: the last line run through the cache, which
+        # is therefore resident and in MRU position until something
+        # invalidates it (clflush of that line, or a crash). Distinct
+        # from _prev_line, which is prefetcher state and must NOT be
+        # cleared on invalidation.
+        self._fast_line = -1
 
     # ------------------------------------------------------------------
     # allocation
@@ -180,13 +209,49 @@ class NVMRegion:
         if self.wear is not None:
             self.wear.record(line)
 
-    def _touch(self, addr: int, size: int, *, is_write: bool) -> None:
+    def _touch(self, addr: int, size: int, is_write: bool) -> None:
         """Run the touched line range through the cache simulator and
         charge hit/fill costs."""
-        first = addr // self._line
-        last = (addr + size - 1) // self._line
+        line_size = self._line
+        first = addr // line_size
+        last = (addr + size - 1) // line_size
         stats = self.stats
         latency = self._latency
+        if first == last:
+            # single-line access — the overwhelmingly common case (cells
+            # never straddle lines), kept free of the range loop
+            if first == self._fast_line:
+                # repeat of the line touched last: still resident and in
+                # MRU position (nothing else was accessed since), so
+                # this is a hit with no possible eviction — skip the LRU
+                # reorder and only upgrade the dirty flag
+                self.cache.touch_mru(first, is_write)
+                stats.cache_hits += 1
+                stats.sim_time_ns += latency.cache_hit_ns
+                return
+            hit, evicted = self.cache.access(first, is_write=is_write)
+            if hit:
+                stats.cache_hits += 1
+                stats.sim_time_ns += latency.cache_hit_ns
+            elif first == self._prev_line + 1:
+                # forward unit-stride miss: the stream prefetcher has
+                # already pulled this line — cheap, and not a demand miss
+                stats.prefetched_fills += 1
+                stats.nvm_line_reads += 1
+                stats.sim_time_ns += latency.prefetch_hit_ns
+            else:
+                stats.cache_misses += 1
+                stats.nvm_line_reads += 1
+                stats.sim_time_ns += latency.line_fill_ns
+            self._prev_line = first
+            self._fast_line = first
+            if evicted is not None:
+                victim, victim_dirty = evicted
+                stats.evictions += 1
+                if victim_dirty:
+                    self._writeback(victim)
+                    stats.sim_time_ns += latency.eviction_writeback_ns
+            return
         for line in range(first, last + 1):
             hit, evicted = self.cache.access(line, is_write=is_write)
             if hit:
@@ -209,6 +274,8 @@ class NVMRegion:
                 if victim_dirty:
                     self._writeback(victim)
                     stats.sim_time_ns += latency.eviction_writeback_ns
+        # the final line is the one most recently run through the cache
+        self._fast_line = last
 
     def _check_range(self, addr: int, size: int) -> None:
         if addr < 0 or size < 0 or addr + size > self.size:
@@ -247,27 +314,47 @@ class NVMRegion:
 
     def read(self, addr: int, size: int) -> bytes:
         """Load ``size`` bytes from the volatile view."""
-        self._check_range(addr, size)
-        self._touch(addr, size, is_write=False)
-        self.stats.reads += 1
-        self.stats.bytes_read += size
+        if addr < 0 or size < 0 or addr + size > self.size:
+            self._check_range(addr, size)
+        self._touch(addr, size, False)
+        stats = self.stats
+        stats.reads += 1
+        stats.bytes_read += size
         return bytes(self._volatile[addr : addr + size])
 
     def write(self, addr: int, data: bytes) -> None:
         """Store ``data``; it lands in the cache, not yet in NVM."""
         size = len(data)
-        self._check_range(addr, size)
-        self._crash_tick()
+        if addr < 0 or size < 0 or addr + size > self.size:
+            self._check_range(addr, size)
+        if self._crash_countdown is not None:
+            self._crash_tick()
         if self.event_hook is not None:
             self.event_hook("write", addr, size)
-        self._touch(addr, size, is_write=True)
-        self.stats.writes += 1
-        self.stats.bytes_written += size
+        self._touch(addr, size, True)
+        stats = self.stats
+        stats.writes += 1
+        stats.bytes_written += size
         self._volatile[addr : addr + size] = data
 
     def read_u64(self, addr: int) -> int:
-        """Load an 8-byte little-endian unsigned integer."""
-        return _U64.unpack(self.read(addr, 8))[0]
+        """Load an 8-byte little-endian unsigned integer.
+
+        Hot path of every header probe (:meth:`scan_clear_u64` funnels
+        here), so the base class unpacks straight from the volatile
+        view instead of slicing a ``bytes`` through :meth:`read`.
+        Subclasses that remap addresses (wear leveling) get the
+        polymorphic :meth:`read` route; events are identical either way.
+        """
+        if self.__class__ is not NVMRegion:
+            return _U64.unpack(self.read(addr, 8))[0]
+        if addr < 0 or addr + 8 > self.size:
+            self._check_range(addr, 8)
+        self._touch(addr, 8, False)
+        stats = self.stats
+        stats.reads += 1
+        stats.bytes_read += 8
+        return _U64.unpack_from(self._volatile, addr)[0]
 
     def write_u64(self, addr: int, value: int) -> None:
         """Store an 8-byte little-endian unsigned integer."""
@@ -299,8 +386,9 @@ class NVMRegion:
         behaviour, latency and event counts of a bulk probe are exactly
         those of probing each word in turn and stopping at the first
         clear one. Fast backends reimplement the loop natively."""
+        read_u64 = self.read_u64
         for i in range(count):
-            if not self.read_u64(addr) & mask:
+            if not read_u64(addr) & mask:
                 return i
             addr += stride
         return None
@@ -336,6 +424,10 @@ class NVMRegion:
         line = addr // self._line
         if self.config.flush_invalidates:
             was_cached, was_dirty = self.cache.flush(line)
+            if line == self._fast_line:
+                # the invalidated line is no longer resident; the
+                # prefetcher state (_prev_line) deliberately survives
+                self._fast_line = -1
         else:
             was_dirty = self.cache.writeback(line)
             was_cached = was_dirty or self.cache.contains(line)
@@ -408,6 +500,7 @@ class NVMRegion:
                     report.words_dropped += 1
         self._volatile[:] = self._persistent
         self.cache.invalidate_all()
+        self._fast_line = -1
         return report
 
     # ------------------------------------------------------------------

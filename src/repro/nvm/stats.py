@@ -14,7 +14,7 @@ import dataclasses
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class MemStats:
     """Counters for one :class:`~repro.nvm.memory.NVMRegion`.
 

@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+
+# Tests must be hermetic: never serve experiment results from (or write
+# them to) an on-disk bench cache. Set before anything can construct the
+# default engine; tests that exercise the cache pass explicit cache dirs.
+os.environ.setdefault("REPRO_BENCH_NO_CACHE", "1")
 
 from repro import (
     CacheConfig,

@@ -107,3 +107,33 @@ def test_measure_recovery_fields():
     assert result["execution_ms"] > result["recovery_ms"]
     assert 0 < result["percentage"] < 100
     assert result["table_bytes"] == (1 << 10) * 24
+
+
+def test_op_metrics_shortfall():
+    assert OpMetrics(ops=10, attempted=10).shortfall == 0
+    assert OpMetrics(ops=8, attempted=10).shortfall == 2
+    # attempted not recorded (legacy 0) never reads as negative shortfall
+    assert OpMetrics(ops=10, attempted=0).shortfall == 0
+
+
+def test_run_workload_records_attempted():
+    spec = RunSpec(scheme="group", trace="randomnum", load_factor=0.5, **SMALL)
+    result = run_workload(spec)
+    assert result.insert.attempted == result.insert.ops  # room to spare
+    assert result.query.attempted == spec.measure_ops
+    assert result.delete.attempted == spec.measure_ops
+    assert result.shortfalls() == {}
+
+
+def test_shortfalls_surface_partial_phases():
+    from repro.bench.runner import RunResult
+
+    result = RunResult(
+        spec=RunSpec(scheme="group", trace="randomnum", load_factor=0.5, **SMALL),
+        fill_count=0,
+        capacity=SMALL["total_cells"],
+        insert=OpMetrics(ops=40, attempted=50),
+        query=OpMetrics(ops=50, attempted=50),
+        delete=OpMetrics(ops=50, attempted=50),
+    )
+    assert result.shortfalls() == {"insert": 10}

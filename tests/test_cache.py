@@ -150,3 +150,75 @@ def test_matches_reference_lru_model(ops):
     for s in range(n_sets):
         resident = sorted(l for l in cache.resident_lines() if l % n_sets == s)
         assert resident == sorted(model[s])
+
+
+def test_writeback_clean_or_absent_returns_false():
+    cache = tiny_cache()
+    assert cache.writeback(5) is False  # never resident
+    cache.access(5, is_write=False)
+    assert cache.writeback(5) is False  # resident but clean
+
+
+def test_writeback_cleans_but_keeps_residency():
+    cache = tiny_cache()
+    cache.access(7, is_write=True)
+    assert cache.is_dirty(7)
+    assert cache.writeback(7) is True
+    assert cache.contains(7)
+    assert not cache.is_dirty(7)
+    # a second writeback finds nothing left to persist
+    assert cache.writeback(7) is False
+
+
+def test_writeback_does_not_disturb_lru_order():
+    cache = tiny_cache(assoc=2, sets=1)
+    cache.access(0, is_write=True)
+    cache.access(1, is_write=False)
+    cache.writeback(0)  # clwb on the LRU line must not refresh it
+    _, evicted = cache.access(2, is_write=False)
+    assert evicted == (0, False)  # 0 is still the victim, now clean
+
+
+def test_dirty_lines_yields_only_dirty():
+    cache = tiny_cache()
+    cache.access(0, is_write=True)
+    cache.access(1, is_write=False)
+    cache.access(2, is_write=True)
+    assert sorted(cache.dirty_lines()) == [0, 2]
+
+
+def test_invalidate_all_drops_everything_without_writeback():
+    cache = tiny_cache()
+    for line in range(4):
+        cache.access(line, is_write=True)
+    cache.invalidate_all()
+    assert len(cache) == 0
+    assert list(cache.dirty_lines()) == []
+    hit, _ = cache.access(0, is_write=False)
+    assert not hit  # power loss: everything re-misses
+
+
+def test_touch_mru_upgrades_dirty_and_preserves_order():
+    cache = tiny_cache(assoc=2, sets=1)
+    cache.access(0, is_write=False)
+    cache.access(1, is_write=False)
+    cache.touch_mru(1, True)  # repeat-touch of the MRU line, as a write
+    assert cache.is_dirty(1)
+    assert not cache.is_dirty(0)
+    _, evicted = cache.access(2, is_write=False)
+    assert evicted == (0, False)  # LRU order unchanged by touch_mru
+
+
+def test_touch_mru_read_does_not_dirty():
+    cache = tiny_cache()
+    cache.access(3, is_write=False)
+    cache.touch_mru(3, False)
+    assert not cache.is_dirty(3)
+
+
+def test_touch_mru_asserts_residency():
+    cache = tiny_cache()
+    with pytest.raises(KeyError):
+        cache.touch_mru(9, False)
+    with pytest.raises(KeyError):
+        cache.touch_mru(9, True)

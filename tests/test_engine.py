@@ -1,0 +1,226 @@
+"""Tests for the benchmark execution engine and its result cache.
+
+Covers the tentpole guarantees: content-addressed caching (hits return
+the same results, corrupt entries are recomputed), batch dedup, result
+ordering, JSON round-trips for every spec/result kind, and determinism
+across worker counts and ``PYTHONHASHSEED`` values.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.cache import ResultCache, code_version, spec_fingerprint
+from repro.bench.engine import Engine, execute_spec
+from repro.bench.runner import (
+    NegativeQuerySpec,
+    OpMetrics,
+    RecoverySpec,
+    RunResult,
+    RunSpec,
+    UtilizationSpec,
+    run_workload,
+)
+
+TINY = dict(total_cells=1 << 10, group_size=32, measure_ops=20)
+
+
+def tiny_spec(scheme="group", **kw) -> RunSpec:
+    return RunSpec(scheme=scheme, trace="randomnum", load_factor=0.5, **TINY, **kw)
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+
+
+def test_code_version_is_stable_hex():
+    token = code_version()
+    assert token == code_version()
+    assert len(token) == 16
+    int(token, 16)  # hex-parsable
+
+
+def test_fingerprint_stable_and_field_sensitive():
+    a = tiny_spec()
+    assert spec_fingerprint(a) == spec_fingerprint(tiny_spec())
+    assert spec_fingerprint(a) != spec_fingerprint(tiny_spec(seed=43))
+    assert spec_fingerprint(a) != spec_fingerprint(tiny_spec(scheme="linear"))
+
+
+def test_fingerprint_distinguishes_spec_kinds():
+    util = UtilizationSpec(scheme="group", total_cells=1 << 10, group_size=32)
+    assert spec_fingerprint(util) != spec_fingerprint(
+        UtilizationSpec(scheme="group", total_cells=1 << 10, group_size=64)
+    )
+    # same field values under a different kind must not collide
+    neg = NegativeQuerySpec(scheme="group", total_cells=1 << 10, group_size=32)
+    assert spec_fingerprint(util) != spec_fingerprint(neg)
+
+
+# ----------------------------------------------------------------------
+# result cache
+
+
+def test_cache_roundtrip_and_counters(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = tiny_spec()
+    assert cache.get(spec) is None
+    cache.put(spec, {"result": {"x": 1}})
+    assert cache.get(spec) == {"result": {"x": 1}}
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_cache_tolerates_corrupt_entry(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = tiny_spec()
+    cache.put(spec, {"result": 1})
+    path = cache._path(spec)
+    path.write_text("{not json")
+    assert cache.get(spec) is None  # corrupt = miss, never an error
+
+
+def test_cache_clear(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(tiny_spec(), {"result": 1})
+    cache.put(tiny_spec(seed=7), {"result": 2})
+    assert cache.clear() == 2
+    assert cache.get(tiny_spec()) is None
+
+
+# ----------------------------------------------------------------------
+# serde round-trips
+
+
+def test_runspec_roundtrip():
+    spec = tiny_spec(tech="pcm", flush_invalidates=False)
+    assert RunSpec.from_dict(spec.to_dict()) == spec
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        UtilizationSpec(scheme="path", trace="bagofwords", total_cells=512),
+        RecoverySpec(total_cells=2048, load_factor=0.4),
+        NegativeQuerySpec(scheme="pfht", measure_ops=17),
+    ],
+    ids=lambda s: type(s).__name__,
+)
+def test_aux_spec_roundtrip(spec):
+    rebuilt = type(spec).from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert rebuilt == spec
+
+
+def test_run_result_json_roundtrip():
+    result = run_workload(tiny_spec())
+    encoded = json.dumps(result.to_dict())
+    rebuilt = RunResult.from_dict(json.loads(encoded))
+    assert rebuilt.spec == result.spec
+    assert rebuilt.fill_count == result.fill_count
+    assert rebuilt.capacity == result.capacity
+    assert rebuilt.fill_failures == result.fill_failures
+    assert rebuilt.extras == result.extras
+    for phase in ("insert", "query", "delete"):
+        assert rebuilt.phase(phase) == result.phase(phase)
+
+
+def test_op_metrics_roundtrip():
+    m = OpMetrics(ops=9, sim_ns=1.5, cache_misses=3, attempted=10)
+    assert OpMetrics.from_dict(m.to_dict()) == m
+    assert OpMetrics.from_dict(m.to_dict()).shortfall == 1
+
+
+# ----------------------------------------------------------------------
+# engine behaviour
+
+
+def test_engine_serial_matches_direct_execution():
+    spec = tiny_spec()
+    direct = run_workload(spec)
+    via_engine = Engine(jobs=1, cache=False).run_one(spec)
+    assert via_engine.to_dict() == direct.to_dict()
+
+
+def test_engine_preserves_input_order_and_dedupes(tmp_path):
+    specs = [tiny_spec("group"), tiny_spec("linear"), tiny_spec("group")]
+    engine = Engine(jobs=1, cache=ResultCache(tmp_path))
+    results = engine.run(specs)
+    assert [r.spec.scheme for r in results] == ["group", "linear", "group"]
+    # the duplicate cell executed (and was cached) exactly once
+    assert engine.cache.misses == 2
+    assert results[0].to_dict() == results[2].to_dict()
+
+
+def test_engine_mixed_kind_batch(tmp_path):
+    engine = Engine(jobs=1, cache=ResultCache(tmp_path))
+    batch = [
+        tiny_spec(),
+        UtilizationSpec(scheme="group", total_cells=1 << 10, group_size=32),
+        RecoverySpec(total_cells=1 << 10, group_size=32),
+    ]
+    run_res, util_res, rec_res = engine.run(batch)
+    assert isinstance(run_res, RunResult)
+    assert 0.0 < util_res <= 1.0
+    assert rec_res["recovery_ms"] >= 0.0
+
+
+def test_warm_cache_serves_identical_results(tmp_path):
+    specs = [tiny_spec(), tiny_spec(seed=7)]
+    cold = Engine(jobs=1, cache=ResultCache(tmp_path)).run(specs)
+    warm_engine = Engine(jobs=1, cache=ResultCache(tmp_path))
+    warm = warm_engine.run(specs)
+    assert warm_engine.cache.misses == 0
+    assert warm_engine.cache.hits == 2
+    assert [r.to_dict() for r in warm] == [r.to_dict() for r in cold]
+
+
+def test_engine_rejects_unknown_spec_kind():
+    with pytest.raises(TypeError):
+        execute_spec(object())
+
+
+def test_parallel_results_identical_to_serial():
+    """--jobs N must not change a single bit of the results (the pool
+    only changes *where* a cell executes, never what it computes)."""
+    specs = [tiny_spec("group"), tiny_spec("linear"), tiny_spec("pfht")]
+    serial = Engine(jobs=1, cache=False).run(specs)
+    parallel = Engine(jobs=2, cache=False).run(specs)
+    serial_blob = json.dumps([r.to_dict() for r in serial], sort_keys=True)
+    parallel_blob = json.dumps([r.to_dict() for r in parallel], sort_keys=True)
+    assert serial_blob == parallel_blob
+
+
+# ----------------------------------------------------------------------
+# determinism across interpreter hash randomisation
+
+_HASHSEED_PROG = """
+import json
+from repro.bench.engine import Engine
+from repro.bench.runner import RunSpec
+spec = RunSpec(scheme="group", trace="randomnum", load_factor=0.5,
+               total_cells=1 << 10, group_size=32, measure_ops=20)
+result = Engine(jobs=1, cache=False).run_one(spec)
+print(json.dumps(result.to_dict(), sort_keys=True))
+"""
+
+
+def _run_with_hashseed(seed: str) -> str:
+    env = dict(os.environ, PYTHONHASHSEED=seed)
+    env["PYTHONPATH"] = os.pathsep.join(sys.path)
+    out = subprocess.run(
+        [sys.executable, "-c", _HASHSEED_PROG],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return out.stdout
+
+
+def test_results_independent_of_pythonhashseed():
+    """Workload results must not leak builtin-hash iteration order: the
+    same spec under different PYTHONHASHSEED values is byte-identical."""
+    outputs = {_run_with_hashseed(seed) for seed in ("0", "1", "12345")}
+    assert len(outputs) == 1
