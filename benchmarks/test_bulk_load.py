@@ -1,6 +1,5 @@
 """Bulk-load benchmark: the loading fast path vs one-at-a-time inserts."""
 
-import pytest
 
 from benchmarks.conftest import SCALE, SEED
 from repro.bench.config import make_trace, region_for

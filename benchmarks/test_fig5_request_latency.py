@@ -12,7 +12,6 @@ Shape assertions from the paper's Section 4.2 narrative:
   variants) on every operation — the paper's central claim.
 """
 
-import pytest
 
 from repro.bench.config import SCHEMES
 

@@ -5,7 +5,6 @@ few misses, path hashing (probe path scattered across level arrays) the
 most, and logging roughly doubles miss counts.
 """
 
-import pytest
 
 from repro.bench.config import SCHEMES
 
@@ -61,7 +60,9 @@ def test_group_query_misses_near_linear(benchmark, matrix):
 def test_logging_doubles_misses(benchmark, matrix):
     def ratios():
         out = []
-        for plain, logged in (("linear", "linear-L"), ("pfht", "pfht-L"), ("path", "path-L")):
+        for plain, logged in (
+        ("linear", "linear-L"), ("pfht", "pfht-L"), ("path", "path-L")
+    ):
             for op in ("insert", "delete"):
                 a = matrix[("randomnum", 0.5, plain)].phase(op).avg_misses
                 b = matrix[("randomnum", 0.5, logged)].phase(op).avg_misses

@@ -23,7 +23,9 @@ def test_fig7_driver(benchmark):
     util = benchmark.pedantic(
         measure_space_utilization,
         args=("group", "randomnum"),
-        kwargs=dict(total_cells=SCALE.total_cells, group_size=SCALE.group_size, seed=SEED),
+        kwargs=dict(
+            total_cells=SCALE.total_cells, group_size=SCALE.group_size, seed=SEED
+        ),
         rounds=1,
         iterations=1,
     )

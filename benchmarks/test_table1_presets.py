@@ -13,7 +13,9 @@ CACHE = CacheConfig(size_bytes=8192, line_size=64, associativity=2)
 
 
 def persist_cost(tech: str) -> float:
-    region = NVMRegion(1 << 16, SimConfig(latency=TECHNOLOGY_PRESETS[tech], cache=CACHE))
+    region = NVMRegion(
+        1 << 16, SimConfig(latency=TECHNOLOGY_PRESETS[tech], cache=CACHE)
+    )
     region.write(0, b"x" * 8)
     before = region.stats.sim_time_ns
     region.persist(0, 8)

@@ -20,7 +20,11 @@ def test_table3_driver(benchmark):
 
     out = benchmark.pedantic(
         measure_recovery,
-        kwargs=dict(total_cells=SCALE.recovery_cells[0], group_size=SCALE.group_size, seed=SEED),
+        kwargs=dict(
+            total_cells=SCALE.recovery_cells[0],
+            group_size=SCALE.group_size,
+            seed=SEED,
+        ),
         rounds=1,
         iterations=1,
     )

@@ -13,7 +13,9 @@ def result():
 
 def test_logging_doubles_write_bytes(benchmark, result):
     data = benchmark(lambda: result.data)
-    for plain, logged in (("linear", "linear-L"), ("pfht", "pfht-L"), ("path", "path-L")):
+    for plain, logged in (
+        ("linear", "linear-L"), ("pfht", "pfht-L"), ("path", "path-L")
+    ):
         assert data[logged]["ins_bytes"] > 1.7 * data[plain]["ins_bytes"]
         assert data[logged]["ins_flushes"] > 1.7 * data[plain]["ins_flushes"]
 

@@ -29,7 +29,7 @@ def main() -> None:
     index = GroupHashTable(region, N_CELLS, trace.spec, group_size=128)
 
     print(f"dedup index: {index.capacity} cells, 32-byte items "
-          f"(16-byte MD5 key + 16-byte chunk metadata)\n")
+          "(16-byte MD5 key + 16-byte chunk metadata)\n")
 
     # ---- ingest a backup stream --------------------------------------
     unique = duplicates = 0

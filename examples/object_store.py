@@ -23,7 +23,10 @@ from repro.kv import KVStore
 
 
 def blob(rng: random.Random, user: int) -> bytes:
-    fields = [f'"visit{i}":"page-{rng.randint(1, 999)}"' for i in range(rng.randint(1, 40))]
+    fields = [
+        f'"visit{i}":"page-{rng.randint(1, 999)}"'
+        for i in range(rng.randint(1, 40))
+    ]
     return (f'{{"user":{user},' + ",".join(fields) + "}").encode()
 
 
@@ -52,7 +55,7 @@ def main() -> None:
           f"{min(sizes)}-{max(sizes)} B (mean {sum(sizes)//len(sizes)})")
     print(f"  {delta.sim_time_ns / len(sessions):.0f} simulated ns/PUT, "
           f"{delta.flushes / len(sessions):.1f} flushes/PUT "
-          f"(allocator itself: 0 — bookkeeping is derived, not persisted)")
+          "(allocator itself: 0 — bookkeeping is derived, not persisted)")
     print("  slab utilization:",
           {k: round(v, 2) for k, v in store.slab.utilization().items() if v})
 
@@ -87,7 +90,7 @@ def main() -> None:
     assert store.slab.allocated_chunks() == len(state), "allocator leaked!"
     print(f"recovered: all {len(sessions)} committed sessions intact, "
           f"in-flight PUT {'published' if key in state else 'rolled away'}, "
-          f"allocator rebuilt with zero leaks")
+          "allocator rebuilt with zero leaks")
 
 
 if __name__ == "__main__":

@@ -8,7 +8,13 @@ printing the simulated cost of everything along the way.
 Run:  python examples/quickstart.py
 """
 
-from repro import GroupHashTable, ItemSpec, NVMRegion, SimulatedPowerFailure, random_schedule
+from repro import (
+    GroupHashTable,
+    ItemSpec,
+    NVMRegion,
+    SimulatedPowerFailure,
+    random_schedule,
+)
 
 
 def main() -> None:
@@ -67,13 +73,13 @@ def main() -> None:
     table.recover()
     delta = region.stats.delta(before)
     print(f"recovered in {delta.sim_time_ns / 1e6:.2f} simulated ms "
-          f"(full-table scan)")
+          "(full-table scan)")
     assert table.query(doomed_key) is None, "uncommitted insert must vanish"
     assert table.check_count(), "count must match occupancy"
     for key, value in list(items.items())[:100]:
         assert table.query(key) == value
     print(f"consistent: {table.count} items, count field verified, "
-          f"in-flight insert cleanly rolled away")
+          "in-flight insert cleanly rolled away")
 
     # ---- delete ------------------------------------------------------
     for key in items:

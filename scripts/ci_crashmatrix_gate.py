@@ -1,0 +1,75 @@
+"""CI gate over a crash-matrix campaign's JSON report.
+
+Reads the ``--json`` dump of ``python -m repro.bench crashmatrix`` and
+enforces the campaign's contract:
+
+- **zero oracle violations** — any violation prints its cell, oracle
+  and minimal failing event prefix, then fails the job;
+- **coverage floor** — at least ``--min-points`` distinct crash
+  boundaries across at least ``--min-schemes`` schemes, so a silently
+  shrunken workload cannot turn the gate green by testing nothing.
+
+Usage::
+
+    python scripts/ci_crashmatrix_gate.py report.json \
+        [--min-points 200] [--min-schemes 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate one crashmatrix JSON report; 0 = gate passes."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    parser.add_argument("--min-points", type=int, default=200)
+    parser.add_argument("--min-schemes", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        dump = json.load(fh)
+    matrix = dump["crashmatrix"]
+
+    failed = False
+    for cell in matrix["cells"]:
+        label = "{scheme}/{backend}/shards={n_shards}".format(**cell["spec"])
+        if cell["violations"]:
+            failed = True
+            print(f"FAIL: {label}: {len(cell['violations'])} violation(s)")
+            for violation in cell["violations"][:10]:
+                print(f"  {violation}")
+            prefix = cell["min_failing_prefix"]
+            print(f"  minimal failing prefix ({len(prefix)} event(s)):")
+            for event in prefix[-20:]:
+                print(f"    {event}")
+        else:
+            print(
+                f"ok: {label}: {cell['points']} points, "
+                f"{cell['replays']} replays clean"
+            )
+
+    schemes = {cell["spec"]["scheme"] for cell in matrix["cells"]}
+    if matrix["total_points"] < args.min_points:
+        failed = True
+        print(
+            f"FAIL: only {matrix['total_points']} crash points "
+            f"(need >= {args.min_points})"
+        )
+    if len(schemes) < args.min_schemes:
+        failed = True
+        print(f"FAIL: only schemes {sorted(schemes)} (need >= {args.min_schemes})")
+    if not failed:
+        print(
+            f"gate passed: {matrix['total_points']} points, "
+            f"{matrix['total_replays']} replays, {len(schemes)} schemes, "
+            "0 violations"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,7 @@ from repro.bench.config import SCALES
 from repro.bench.experiments import (
     ablations,
     backends,
+    crashmatrix,
     engine as engine_exp,
     fig2,
     fig5,
@@ -47,6 +48,7 @@ EXPERIMENTS = {
     "negative": negative.run,
     "backends": backends.run,
     "engine": engine_exp.run,
+    "crashmatrix": crashmatrix.run,
 }
 
 #: experiments that measure wall-clock and therefore build their own
@@ -102,6 +104,28 @@ def main(argv: list[str] | None = None) -> int:
         help="execute every cell even if a cached result exists",
     )
     parser.add_argument(
+        "--scheme",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="crashmatrix only: campaign this scheme (repeatable; "
+        "default: the scale's standard grid)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("raw", "sim"),
+        default="raw",
+        help="crashmatrix only: memory backend for monolithic cells",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="crashmatrix only: word-survival subsets per crash "
+        "boundary beyond the drop-all/persist-all extremes",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run the first uncached cell under cProfile and print the "
@@ -118,8 +142,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "all":
         names = [
             "fig2", "fig5", "fig6", "fig7", "fig8", "table3",
-            "writes", "ablations", "sweep", "negative", "backends",
-            "engine",
+            "writes", "ablations", "sweep", "negative", "crashmatrix",
+            "backends", "engine",
         ]
 
     jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
@@ -133,6 +157,15 @@ def main(argv: list[str] | None = None) -> int:
         runner = EXPERIMENTS[name]
         if name in _SELF_TIMED:
             result = runner(scale, seed=args.seed)
+        elif name == "crashmatrix":
+            result = runner(
+                scale,
+                seed=args.seed,
+                engine=eng,
+                schemes=tuple(args.scheme) if args.scheme else None,
+                backend=args.backend,
+                budget=args.budget,
+            )
         else:
             result = runner(scale, seed=args.seed, engine=eng)
         elapsed = time.perf_counter() - start
@@ -145,6 +178,14 @@ def main(argv: list[str] | None = None) -> int:
             f"  [result cache: {eng.cache.hits} hit(s), "
             f"{eng.cache.misses} miss(es) at {eng.cache.root}]"
         )
+    # machine-readable engine counters: CI gates on these instead of
+    # scraping the human-oriented lines above
+    dump["cache_stats"] = {
+        "enabled": eng.cache is not None,
+        "hits": eng.cache.hits if eng.cache else 0,
+        "misses": eng.cache.misses if eng.cache else 0,
+        "executed": eng.executed,
+    }
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(dump, fh, indent=2)

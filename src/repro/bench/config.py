@@ -13,8 +13,7 @@ schemes, mirroring the paper's "we use 2^23 hash table cells":
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
 
 from repro.core import GroupHashTable
 from repro.nvm import (

@@ -54,6 +54,28 @@ SPEC_KINDS: dict[type, tuple[Callable, Callable, Callable]] = {
 }
 
 
+def register_spec_kind(
+    spec_type: type,
+    execute: Callable,
+    encode: Callable | None = None,
+    decode: Callable | None = None,
+) -> None:
+    """Register an additional spec kind with the engine.
+
+    Must run as an import-time side effect of the module *defining*
+    ``spec_type``: pool workers unpickle a spec (importing its module,
+    and therefore registering it) before :func:`execute_spec` looks the
+    kind up, so registration-by-import is what keeps ``--jobs`` fan-out
+    working for externally defined kinds. ``encode``/``decode`` default
+    to the identity, which suits executors that already return plain
+    JSON-ready dicts."""
+    SPEC_KINDS[spec_type] = (
+        execute,
+        encode or (lambda r: r),
+        decode or (lambda p: p),
+    )
+
+
 def execute_spec(spec: Any) -> Any:
     """Run one spec of any registered kind (the pool-worker entrypoint)."""
     try:
@@ -181,7 +203,8 @@ class Engine:
         shortfalls = result.shortfalls()
         if shortfalls:
             detail = ", ".join(
-                f"{phase}: {result.phase(phase).ops}/{result.phase(phase).attempted} ops"
+                f"{phase}: {result.phase(phase).ops}"
+                f"/{result.phase(phase).attempted} ops"
                 for phase in shortfalls
             )
             self.warnings.append(

@@ -61,7 +61,9 @@ def run_technology(scale: Scale, seed: int = 42, engine=None) -> ExperimentResul
             ),
         ]
     )
-    return ExperimentResult(name="ablation-technology", paper_ref="Table 1", data=data, text=text)
+    return ExperimentResult(
+        name="ablation-technology", paper_ref="Table 1", data=data, text=text
+    )
 
 
 def run_clwb(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
@@ -104,7 +106,9 @@ def run_clwb(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
             ),
         ]
     )
-    return ExperimentResult(name="ablation-clwb", paper_ref="Section 2.2", data=data, text=text)
+    return ExperimentResult(
+        name="ablation-clwb", paper_ref="Section 2.2", data=data, text=text
+    )
 
 
 def run_two_hash_group(scale: Scale, seed: int = 42) -> ExperimentResult:
@@ -116,7 +120,9 @@ def run_two_hash_group(scale: Scale, seed: int = 42) -> ExperimentResult:
 
     def fresh_table(trace_seed: int, n_hash: int) -> tuple:
         trace = make_trace("randomnum", seed=trace_seed)
-        region = region_for(scale.total_cells, trace.spec, cache_ratio=scale.cache_ratio)
+        region = region_for(
+        scale.total_cells, trace.spec, cache_ratio=scale.cache_ratio
+    )
         table = GroupHashTable(
             region,
             scale.total_cells,
@@ -174,7 +180,9 @@ def run_two_hash_group(scale: Scale, seed: int = 42) -> ExperimentResult:
             ),
         ]
     )
-    return ExperimentResult(name="ablation-two-hash", paper_ref="Section 4.4", data=data, text=text)
+    return ExperimentResult(
+        name="ablation-two-hash", paper_ref="Section 4.4", data=data, text=text
+    )
 
 
 def run_excluded_schemes(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
@@ -223,7 +231,9 @@ def run_excluded_schemes(scale: Scale, seed: int = 42, engine=None) -> Experimen
             ),
         ]
     )
-    return ExperimentResult(name="ablation-excluded", paper_ref="Section 4.1", data=data, text=text)
+    return ExperimentResult(
+        name="ablation-excluded", paper_ref="Section 4.1", data=data, text=text
+    )
 
 
 def run_wear_leveling(scale: Scale, seed: int = 42) -> ExperimentResult:
@@ -242,7 +252,9 @@ def run_wear_leveling(scale: Scale, seed: int = 42) -> ExperimentResult:
     n_cells = 1 << 10
     rows = []
     data = {}
-    for label, rotate_every in (("plain", None), ("start-gap/4", 4), ("start-gap/1", 1)):
+    for label, rotate_every in (
+        ("plain", None), ("start-gap/4", 4), ("start-gap/1", 1)
+    ):
         trace = make_trace("randomnum", seed=seed)
         codec = CellCodec(trace.spec)
         table_bytes = codec.array_bytes(n_cells)

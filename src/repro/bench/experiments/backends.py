@@ -67,8 +67,12 @@ def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
     seconds: dict[str, float] = {}
     events: dict[str, tuple[int, int, int, int]] = {}
     for backend in ("sim", "raw"):
-        region = region_for(fill_cells, spec, cache_ratio=scale.cache_ratio, backend=backend)
-        table = GroupHashTable(region, fill_cells, spec, group_size=group_size, seed=seed)
+        region = region_for(
+        fill_cells, spec, cache_ratio=scale.cache_ratio, backend=backend
+    )
+        table = GroupHashTable(
+        region, fill_cells, spec, group_size=group_size, seed=seed
+    )
         seconds[backend] = _timed_fill(table, keys, value)
         stats = region.stats
         events[backend] = (stats.reads, stats.writes, stats.flushes, stats.fences)

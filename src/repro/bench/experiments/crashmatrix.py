@@ -1,0 +1,430 @@
+"""Crash-matrix campaigns: the consistency claim as an enumerable test.
+
+The paper argues (Sections 3.4 / 4.6) that group hashing needs no log
+because its persist ordering makes every crash recoverable. This driver
+turns that argument into a measured artifact: for each campaign cell —
+a (scheme, backend, shard layout, workload, subset budget) tuple frozen
+as a :class:`CrashMatrixSpec` — it records the persistence event log of
+a deterministic workload and replays it once per crash boundary and
+per word-survival schedule, recovering and checking the three oracles
+of :mod:`repro.nvm.crashpoint` each time.
+
+Cells run through the bench :class:`~repro.bench.engine.Engine`, so a
+campaign deduplicates, fans out across ``--jobs`` workers, and caches:
+a green matrix re-verifies from disk for free until the source tree
+changes, at which point the code-version token forces a full re-run —
+exactly the regression discipline CI wants.
+
+The grid always includes the paper's scheme (group hashing), at least
+one logged baseline (undo-log rollback exercises a *different* recovery
+path), and a :class:`~repro.core.sharded.ShardedTable` cell whose crash
+domain is a single shard — proving shard independence, not just
+single-table recoverability.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+
+from repro.bench.config import build_table
+from repro.bench.engine import default_engine, register_spec_kind
+from repro.bench.experiments import ExperimentResult
+from repro.bench.report import format_ratio_note, format_table
+from repro.core import ShardedTable, recover_table
+from repro.nvm.backend import MemoryBackend
+from repro.nvm.crash import CrashSchedule
+from repro.nvm.crashpoint import Op, run_campaign
+from repro.tables.cell import ItemSpec
+
+#: schemes enumerated at the tiny (``--quick``) scale
+QUICK_SCHEMES: tuple[str, ...] = ("group", "linear-L")
+
+#: schemes enumerated at every larger scale (scheduled full runs)
+FULL_SCHEMES: tuple[str, ...] = ("group", "linear-L", "pfht-L", "path-L")
+
+
+@dataclass(frozen=True)
+class CrashMatrixSpec:
+    """One campaign cell, frozen so the engine can dedupe and cache it.
+
+    ``n_shards=0`` campaigns a monolithic ``scheme`` table on
+    ``backend``; ``n_shards>0`` campaigns a :class:`ShardedTable` (group
+    scheme on raw shards — the sharded default) whose crash domain is
+    shard 0 only.
+    """
+
+    scheme: str = "group"
+    #: "raw" (fast, identical event semantics) or "sim" (full simulator)
+    backend: str = "raw"
+    total_cells: int = 256
+    group_size: int = 32
+    #: measured ops after pre-fill (the enumerated window)
+    n_ops: int = 16
+    #: pre-fill load factor (inserted before recording starts)
+    prefill: float = 0.3
+    #: strict word-survival subsets per boundary beyond the two extremes
+    subset_budget: int = 2
+    #: 0 = monolithic table; >0 = sharded with shard 0 as crash domain
+    n_shards: int = 0
+    seed: int = 42
+
+    def to_dict(self) -> dict:
+        """JSON-ready field dict."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CrashMatrixSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
+    @property
+    def label(self) -> str:
+        """Report row label, e.g. ``group``, ``linear-L``, ``group x4``."""
+        name = self.scheme
+        if self.n_shards:
+            name += f" x{self.n_shards}"
+        if self.backend != "raw":
+            name += f" ({self.backend})"
+        return name
+
+
+def build_workload(
+    spec: CrashMatrixSpec,
+) -> tuple[dict[bytes, bytes], list[Op]]:
+    """Deterministic (pre-fill items, measured op list) for one cell.
+
+    Pure function of the spec: a seeded PRNG draws unique non-zero
+    8-byte keys, pre-fills to ``spec.prefill`` load, then emits a
+    repeating insert/delete/update/insert mix whose delete and update
+    targets are drawn from the keys live at that point — so the
+    workload crosses every commit discipline (fresh cell, tombstone,
+    in-place overwrite) while staying replayable bit-for-bit."""
+    spec_fields = ItemSpec()
+    rng = random.Random((spec.seed << 8) ^ 0xC4A5)
+    used: set[bytes] = set()
+
+    def fresh_key() -> bytes:
+        while True:
+            key = rng.getrandbits(64).to_bytes(spec_fields.key_size, "little")
+            if any(key) and key not in used:
+                used.add(key)
+                return key
+
+    def fresh_value() -> bytes:
+        return rng.getrandbits(64).to_bytes(spec_fields.value_size, "little")
+
+    n_prefill = max(2, int(spec.prefill * spec.total_cells))
+    prefill = {fresh_key(): fresh_value() for _ in range(n_prefill)}
+    shadow = dict(prefill)
+    kinds = ("insert", "delete", "update", "insert")
+    ops: list[Op] = []
+    for i in range(spec.n_ops):
+        kind = kinds[i % len(kinds)]
+        if kind == "insert":
+            key, value = fresh_key(), fresh_value()
+            shadow[key] = value
+            ops.append(Op("insert", key, value))
+        elif kind == "delete":
+            key = sorted(shadow)[rng.randrange(len(shadow))]
+            del shadow[key]
+            ops.append(Op("delete", key))
+        else:
+            key = sorted(shadow)[rng.randrange(len(shadow))]
+            value = fresh_value()
+            shadow[key] = value
+            ops.append(Op("update", key, value))
+    return prefill, ops
+
+
+class TableCampaignHarness:
+    """:class:`~repro.nvm.crashpoint.CrashHarness` over one built table."""
+
+    def __init__(self, built) -> None:
+        self.built = built
+        self.table = built.table
+
+    @property
+    def crash_backend(self) -> MemoryBackend:
+        """The table's whole backend is the crash domain."""
+        return self.built.region
+
+    def apply(self, op: Op) -> bool:
+        """Route one workload op to the table."""
+        if op.kind == "insert":
+            return self.table.insert(op.key, op.value)
+        if op.kind == "delete":
+            return self.table.delete(op.key)
+        if op.kind == "update":
+            return self.table.update(op.key, op.value)
+        raise ValueError(f"unknown op kind {op.kind!r}")
+
+    def crash(self, schedule: CrashSchedule) -> None:
+        """Power-fail the backend under ``schedule``."""
+        self.built.region.crash(schedule)
+
+    def recover(self) -> None:
+        """Reboot: reattach mirrors, run the scheme's recovery."""
+        recover_table(self.table)
+
+    def snapshot(self) -> dict[bytes, bytes]:
+        """Recovered contents as a plain dict."""
+        return dict(self.table.items())
+
+    def integrity_violations(self) -> list[str]:
+        """The table's structural self-checks."""
+        return self.table.integrity_violations()
+
+
+class ShardedCampaignHarness:
+    """Harness whose crash domain is one shard of a sharded table.
+
+    The workload routes over every shard, but only ``crash_shard``'s
+    backend is recorded, armed, crashed and recovered — the campaign
+    thereby checks both that the failed shard recovers and that the
+    oracles hold over the *global* key space (untouched shards keep
+    serving their committed items)."""
+
+    def __init__(self, table: ShardedTable, crash_shard: int = 0) -> None:
+        self.table = table
+        self.crash_shard = crash_shard
+
+    @property
+    def crash_backend(self) -> MemoryBackend:
+        """The crash shard's own backend."""
+        return self.table.backend.shard(self.crash_shard)
+
+    def apply(self, op: Op) -> bool:
+        """Route one workload op through the shard router."""
+        if op.kind == "insert":
+            return self.table.insert(op.key, op.value)
+        if op.kind == "delete":
+            return self.table.delete(op.key)
+        if op.kind == "update":
+            return self.table.update(op.key, op.value)
+        raise ValueError(f"unknown op kind {op.kind!r}")
+
+    def crash(self, schedule: CrashSchedule) -> None:
+        """Power-fail only the crash shard."""
+        self.table.crash(schedule, shard=self.crash_shard)
+
+    def recover(self) -> None:
+        """Reboot only the crash shard (others never went down)."""
+        recover_table(self.table.tables[self.crash_shard])
+
+    def snapshot(self) -> dict[bytes, bytes]:
+        """Global contents across all shards."""
+        return dict(self.table.items())
+
+    def integrity_violations(self) -> list[str]:
+        """Structural checks on every shard (the global invariant)."""
+        problems: list[str] = []
+        for i, shard_table in enumerate(self.table.tables):
+            problems.extend(
+                f"shard {i}: {p}" for p in shard_table.integrity_violations()
+            )
+        return problems
+
+
+def make_harness(
+    spec: CrashMatrixSpec, prefill: dict[bytes, bytes]
+) -> TableCampaignHarness | ShardedCampaignHarness:
+    """Build one fresh, pre-filled harness for ``spec`` (the replay
+    factory — every crash point reconstructs state through here)."""
+    harness: TableCampaignHarness | ShardedCampaignHarness
+    if spec.n_shards:
+        if spec.scheme != "group" or spec.backend != "raw":
+            raise ValueError(
+                "sharded campaign cells use the sharded default "
+                "(group scheme on raw shards)"
+            )
+        table = ShardedTable(
+            spec.total_cells,
+            ItemSpec(),
+            n_shards=spec.n_shards,
+            seed=spec.seed,
+        )
+        harness = ShardedCampaignHarness(table)
+    else:
+        built = build_table(
+            spec.scheme,
+            spec.total_cells,
+            ItemSpec(),
+            group_size=spec.group_size,
+            seed=spec.seed,
+            cache_ratio=4.0,
+            backend=spec.backend,
+        )
+        harness = TableCampaignHarness(built)
+    for key, value in prefill.items():
+        if not harness.apply(Op("insert", key, value)):
+            raise RuntimeError(
+                f"pre-fill insert failed at load {spec.prefill} — lower "
+                f"spec.prefill for {spec.label}"
+            )
+    return harness
+
+
+def run_crash_matrix_spec(spec: CrashMatrixSpec) -> dict:
+    """Execute one campaign cell; returns a JSON-ready summary dict.
+
+    This is the engine executor for :class:`CrashMatrixSpec` (runs in
+    pool workers), so the result must round-trip through JSON
+    unchanged: counts, violation dicts, and the minimal failing event
+    prefix as ``[kind, addr, size]`` triples."""
+    prefill, ops = build_workload(spec)
+    result = run_campaign(
+        lambda: make_harness(spec, prefill),
+        ops,
+        subset_budget=spec.subset_budget,
+        seed=spec.seed,
+        prefill=prefill,
+    )
+    prefix = result.minimal_failing_prefix()
+    return {
+        "scheme": spec.scheme,
+        "backend": spec.backend,
+        "n_shards": spec.n_shards,
+        "ops": result.n_ops,
+        "events": result.trace.n_events,
+        "points": result.points,
+        "replays": result.replays,
+        "violations": [v.to_dict() for v in result.violations],
+        "min_failing_prefix": (
+            None if prefix is None else [e.to_list() for e in prefix]
+        ),
+    }
+
+
+register_spec_kind(CrashMatrixSpec, run_crash_matrix_spec)
+
+
+def campaign_specs(
+    scale,
+    seed: int,
+    *,
+    schemes: tuple[str, ...] | None = None,
+    backend: str = "raw",
+    budget: int | None = None,
+) -> list[CrashMatrixSpec]:
+    """The campaign grid for one scale.
+
+    Tiny scale is the CI smoke matrix (two schemes, small budget);
+    anything larger widens to every logged baseline and a higher subset
+    budget, and adds a simulator-backend cell so the costed region's
+    event semantics stay covered too. A sharded cell (group scheme,
+    shard-0 crash domain) is always present."""
+    quick = scale.name == "tiny"
+    chosen = tuple(schemes) if schemes else (
+        QUICK_SCHEMES if quick else FULL_SCHEMES
+    )
+    subset_budget = budget if budget is not None else (2 if quick else 6)
+    n_ops = 16 if quick else 24
+    cells = 256 if quick else 512
+    specs = [
+        CrashMatrixSpec(
+            scheme=scheme,
+            backend=backend,
+            total_cells=cells,
+            group_size=32,
+            n_ops=n_ops,
+            subset_budget=subset_budget,
+            seed=seed,
+        )
+        for scheme in chosen
+    ]
+    specs.append(
+        CrashMatrixSpec(
+            scheme="group",
+            backend="raw",
+            total_cells=cells,
+            group_size=32,
+            n_ops=n_ops + 8,
+            subset_budget=subset_budget,
+            n_shards=4,
+            seed=seed,
+        )
+    )
+    if not quick and backend == "raw":
+        specs.append(
+            CrashMatrixSpec(
+                scheme="group",
+                backend="sim",
+                total_cells=cells,
+                group_size=32,
+                n_ops=n_ops,
+                subset_budget=subset_budget,
+                seed=seed,
+            )
+        )
+    return specs
+
+
+def run(
+    scale,
+    seed: int = 42,
+    engine=None,
+    *,
+    schemes: tuple[str, ...] | None = None,
+    backend: str = "raw",
+    budget: int | None = None,
+) -> ExperimentResult:
+    """Run the crash-matrix campaign grid and render the report."""
+    engine = engine or default_engine()
+    specs = campaign_specs(
+        scale, seed, schemes=schemes, backend=backend, budget=budget
+    )
+    cells = engine.run(specs)
+
+    columns = ["events", "points", "replays", "violations"]
+    rows = []
+    total_points = total_replays = total_violations = 0
+    first_prefix: list | None = None
+    for spec, cell in zip(specs, cells):
+        rows.append((
+            spec.label,
+            {
+                "events": cell["events"],
+                "points": cell["points"],
+                "replays": cell["replays"],
+                "violations": len(cell["violations"]),
+            },
+        ))
+        total_points += cell["points"]
+        total_replays += cell["replays"]
+        total_violations += len(cell["violations"])
+        if first_prefix is None and cell["min_failing_prefix"] is not None:
+            first_prefix = cell["min_failing_prefix"]
+
+    text = format_table(
+        "Crash matrix: every persist boundary x word-survival schedules",
+        columns,
+        rows,
+        precision=0,
+    )
+    text += "\n" + format_ratio_note(
+        f"{total_points} crash points, {total_replays} replays, "
+        f"{total_violations} oracle violation(s) "
+        f"({'all schemes recover consistently' if not total_violations else 'FAIL'})"
+    )
+    if first_prefix is not None:
+        text += "\n" + format_ratio_note(
+            f"minimal failing prefix: {len(first_prefix)} event(s) "
+            "(see the JSON dump for the event list)"
+        )
+    data = {
+        "cells": [
+            dict(cell, spec=spec.to_dict())
+            for spec, cell in zip(specs, cells)
+        ],
+        "total_points": total_points,
+        "total_replays": total_replays,
+        "total_violations": total_violations,
+        "ok": total_violations == 0,
+    }
+    return ExperimentResult(
+        name="crashmatrix",
+        paper_ref="Consistency claim (Sections 3.4 and 4.6)",
+        data=data,
+        text=text,
+    )

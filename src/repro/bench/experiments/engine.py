@@ -95,7 +95,10 @@ def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
     if not identical:
         raise RuntimeError("parallel execution changed the results")
 
-    best = max(JOBS_SWEEP, key=lambda j: data["jobs"][j]["speedup"])  # type: ignore[index]
+    best = max(
+        JOBS_SWEEP,
+        key=lambda j: data["jobs"][j]["speedup"],  # type: ignore[index]
+    )
     text = "\n".join(
         [
             format_table(
@@ -106,7 +109,8 @@ def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
                 precision=3,
             ),
             format_ratio_note(
-                f"best speedup {data['jobs'][best]['speedup']:.2f}x at "  # type: ignore[index]
+                f"best speedup "
+        f"{data['jobs'][best]['speedup']:.2f}x at "  # type: ignore[index]
                 f"jobs={best}; results byte-identical across worker counts; "
                 "speedup is bounded by the core count above"
             ),

@@ -86,8 +86,14 @@ def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
         name="fig2",
         paper_ref="Figure 2",
         data={
-            "latency": {s: {op: results[s].phase(op).avg_latency_ns for op in OPS} for s in results},
-            "misses": {s: {op: results[s].phase(op).avg_misses for op in OPS} for s in results},
+            "latency": {
+            s: {op: results[s].phase(op).avg_latency_ns for op in OPS}
+            for s in results
+        },
+            "misses": {
+            s: {op: results[s].phase(op).avg_misses for op in OPS}
+            for s in results
+        },
             "latency_ratio": lat_ratio,
             "miss_ratio": miss_ratio,
         },

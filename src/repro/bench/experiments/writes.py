@@ -60,5 +60,8 @@ def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
         ]
     )
     return ExperimentResult(
-        name="writes", paper_ref="Sections 1/2.1 (write efficiency)", data=data, text=text
+        name="writes",
+        paper_ref="Sections 1/2.1 (write efficiency)",
+        data=data,
+        text=text,
     )

@@ -25,8 +25,6 @@ from typing import Iterator
 
 from repro.bench.config import BuiltTable, Scale, build_table, make_trace
 from repro.nvm import MemStats
-from repro.tables import ItemSpec, PersistentHashTable
-from repro.traces import Trace
 
 
 @dataclass(frozen=True)
@@ -48,7 +46,9 @@ class RunSpec:
     backend: str = "sim"
 
     @classmethod
-    def from_scale(cls, scheme: str, trace: str, load_factor: float, scale: Scale, **kw) -> "RunSpec":
+    def from_scale(
+        cls, scheme: str, trace: str, load_factor: float, scale: Scale, **kw
+    ) -> "RunSpec":
         return cls(
             scheme=scheme,
             trace=trace,
@@ -168,7 +168,9 @@ class OpMetrics:
     attempted: int = 0
 
     @classmethod
-    def from_delta(cls, ops: int, delta: MemStats, *, attempted: int = 0) -> "OpMetrics":
+    def from_delta(
+        cls, ops: int, delta: MemStats, *, attempted: int = 0
+    ) -> "OpMetrics":
         return cls(
             ops=ops,
             sim_ns=delta.sim_time_ns,
@@ -394,7 +396,9 @@ def measure_recovery(
     plus the table's data footprint in bytes, mirroring the paper's
     columns."""
     trace = make_trace(trace_name, seed=seed)
-    built = build_table("group", total_cells, trace.spec, group_size=group_size, seed=seed)
+    built = build_table(
+        "group", total_cells, trace.spec, group_size=group_size, seed=seed
+    )
     table, region = built.table, built.region
 
     before = region.stats.snapshot()

@@ -16,7 +16,7 @@
 from repro.core.bulk import bulk_load
 from repro.core.group_hash import GroupHashTable
 from repro.core.layout import GroupLayout
-from repro.core.recovery import recover_group_table
+from repro.core.recovery import recover_group_table, recover_table
 from repro.core.resize import (
     ExpansionError,
     expand_group_table,
@@ -33,4 +33,5 @@ __all__ = [
     "expand_group_table",
     "insert_with_expansion",
     "recover_group_table",
+    "recover_table",
 ]

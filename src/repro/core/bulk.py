@@ -25,7 +25,7 @@ and back under Algorithm 1's per-operation guarantees.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.core.group_hash import GroupHashTable
 from repro.tables.cell import OCCUPIED_BIT

@@ -188,6 +188,23 @@ class GroupHashTable(PersistentHashTable):
     # ------------------------------------------------------------------
     # diagnostics
 
+    def integrity_violations(self) -> list[str]:
+        """Base structural checks plus Algorithm 4's postcondition: after
+        recovery every unoccupied cell's key-value field is zero in the
+        persistent image (a non-zero one is a torn write recovery should
+        have reset)."""
+        problems = super().integrity_violations()
+        spec = self.spec
+        zero_kv = bytes(spec.item_size)
+        region = self.region
+        for addr in self._iter_cell_addrs():
+            raw = region.peek_persistent(addr, HEADER_SIZE + spec.item_size)
+            if not raw[0] & OCCUPIED_BIT and raw[HEADER_SIZE:] != zero_kv:
+                problems.append(
+                    f"unoccupied cell at {addr} holds non-zero key-value bytes"
+                )
+        return problems
+
     def level_occupancy(self) -> tuple[int, int]:
         """(level-1 occupied, level-2 occupied) — used by the group-size
         analysis and the examples."""

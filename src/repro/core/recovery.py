@@ -26,6 +26,24 @@ from repro.tables.cell import HEADER_SIZE, OCCUPIED_BIT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.group_hash import GroupHashTable
+    from repro.tables.base import PersistentHashTable
+
+
+def recover_table(table: "PersistentHashTable") -> int:
+    """Uniform reboot entry point for any scheme: reattach the volatile
+    mirrors to the (post-crash) persistent state, then run the scheme's
+    own recovery — Algorithm 4 for group hashing, undo-log rollback plus
+    count rebuild for the logged baselines. Returns the recovered item
+    count.
+
+    The crash-matrix campaigns (:mod:`repro.nvm.crashpoint`) funnel every
+    scheme through this one function so the replay harness cannot drift
+    from what a real restart would do."""
+    table.reattach()
+    if table.log is not None:
+        table.log.reattach()
+    table.recover()
+    return table.count
 
 
 def recover_group_table(table: "GroupHashTable") -> int:

@@ -83,7 +83,9 @@ class ShardedTable:
         n_shards: int = 4,
         seed: int = 0x5EED,
         backend_factory: Callable[[int], MemoryBackend] | None = None,
-        table_factory: Callable[[MemoryBackend, int, ItemSpec, int], PersistentHashTable]
+        table_factory: Callable[
+            [MemoryBackend, int, ItemSpec, int], PersistentHashTable
+        ]
         | None = None,
     ) -> None:
         if n_shards <= 0:

@@ -74,7 +74,8 @@ class TabulationHasher:
         self._table = rng.integers(
             0, 1 << 63, size=(key_bytes, 256), dtype=np.uint64
         ) ^ (
-            rng.integers(0, 1 << 63, size=(key_bytes, 256), dtype=np.uint64) << np.uint64(1)
+            rng.integers(0, 1 << 63, size=(key_bytes, 256), dtype=np.uint64)
+            << np.uint64(1)
         )
 
     def __call__(self, x: int) -> int:

@@ -63,7 +63,9 @@ class SlabAllocator:
                 n_chunks * size, align=CACHELINE, label=f"slab.{size}"
             )
             self._classes.append(
-                _SizeClass(chunk_size=size, base=base, n_chunks=n_chunks, bump=0, free=[])
+                _SizeClass(
+                    chunk_size=size, base=base, n_chunks=n_chunks, bump=0, free=[]
+                )
             )
             size *= 2
         self.min_chunk = min_chunk
@@ -121,7 +123,9 @@ class SlabAllocator:
         for cls in self._classes:
             cls.bump = 0
             cls.free = []
-        per_class: dict[int, set[int]] = {cls.chunk_size: set() for cls in self._classes}
+        per_class: dict[int, set[int]] = {
+            cls.chunk_size: set() for cls in self._classes
+        }
         for addr, size in live:
             cls = self._class(self.class_for(size))
             index = (addr - cls.base) // cls.chunk_size

@@ -37,6 +37,15 @@ from repro.nvm.crash import (
     persist_all_schedule,
     random_schedule,
 )
+from repro.nvm.crashpoint import (
+    CampaignResult,
+    CrashHarness,
+    Op,
+    PersistEvent,
+    Violation,
+    WordSubsetSchedule,
+    run_campaign,
+)
 from repro.nvm.latency import (
     DRAM,
     PCM,
@@ -61,8 +70,15 @@ __all__ = [
     "CACHELINE",
     "CacheConfig",
     "CacheSim",
+    "CampaignResult",
+    "CrashHarness",
     "CrashReport",
     "CrashSchedule",
+    "Op",
+    "PersistEvent",
+    "Violation",
+    "WordSubsetSchedule",
+    "run_campaign",
     "SimulatedPowerFailure",
     "DRAM",
     "LatencyModel",

@@ -117,7 +117,9 @@ class MemoryBackend(Protocol):
 
     # -- bulk probes ---------------------------------------------------
 
-    def scan_clear_u64(self, addr: int, stride: int, count: int, mask: int = 1) -> int | None:
+    def scan_clear_u64(
+        self, addr: int, stride: int, count: int, mask: int = 1
+    ) -> int | None:
         """Index of the first of ``count`` header words (at ``addr``,
         ``addr+stride``, ...) with ``(word & mask) == 0``, or None.
 
@@ -127,7 +129,14 @@ class MemoryBackend(Protocol):
         ...
 
     def scan_match(
-        self, addr: int, stride: int, count: int, key: bytes, *, mask: int = 1, key_offset: int = 8
+        self,
+        addr: int,
+        stride: int,
+        count: int,
+        key: bytes,
+        *,
+        mask: int = 1,
+        key_offset: int = 8,
     ) -> int | None:
         """Index of the first of ``count`` cells whose header *byte 0*
         has a ``mask`` bit set and whose bytes at ``key_offset`` equal
@@ -211,7 +220,9 @@ class RawBackend:
     simulated nanoseconds are irrelevant.
     """
 
-    def __init__(self, size: int, *, name: str = "raw", line_size: int = CACHELINE) -> None:
+    def __init__(
+        self, size: int, *, name: str = "raw", line_size: int = CACHELINE
+    ) -> None:
         if size <= 0:
             raise ValueError("region size must be positive")
         if line_size <= 0 or line_size % ATOMIC_UNIT:
@@ -380,7 +391,9 @@ class RawBackend:
     # ------------------------------------------------------------------
     # bulk probes
 
-    def scan_clear_u64(self, addr: int, stride: int, count: int, mask: int = 1) -> int | None:
+    def scan_clear_u64(
+        self, addr: int, stride: int, count: int, mask: int = 1
+    ) -> int | None:
         """First of ``count`` strided header words with no ``mask`` bit.
 
         Accelerated over the volatile image in one local loop; counts
@@ -406,7 +419,14 @@ class RawBackend:
         return found
 
     def scan_match(
-        self, addr: int, stride: int, count: int, key: bytes, *, mask: int = 1, key_offset: int = 8
+        self,
+        addr: int,
+        stride: int,
+        count: int,
+        key: bytes,
+        *,
+        mask: int = 1,
+        key_offset: int = 8,
     ) -> int | None:
         """First of ``count`` strided cells that is occupied (header byte
         0 & ``mask``) and stores ``key`` at ``key_offset``.
@@ -425,7 +445,9 @@ class RawBackend:
         found = None
         probed = count
         for i in range(count):
-            if volatile[addr] & mask and volatile[addr + key_offset : addr + size] == key:
+            if volatile[addr] & mask and (
+                volatile[addr + key_offset : addr + size] == key
+            ):
                 found, probed = i, i + 1
                 break
             addr += stride
@@ -577,7 +599,8 @@ class RawBackend:
         line_size = self.line_size
         prev_line = None
         for line in sorted(self._dirty):
-            if prev_line is not None and line != prev_line + 1 and run_start is not None:
+            contiguous = prev_line is not None and line == prev_line + 1
+            if not contiguous and prev_line is not None and run_start is not None:
                 # a gap between dirty lines always ends a run
                 end = (prev_line + 1) * line_size
                 diffs.append((run_start, end - run_start))
@@ -619,7 +642,9 @@ class ShardedBackend:
     exploits for partial-failure recovery.
     """
 
-    def __init__(self, n_shards: int, factory: Callable[[int], "MemoryBackend"]) -> None:
+    def __init__(
+        self, n_shards: int, factory: Callable[[int], "MemoryBackend"]
+    ) -> None:
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
         self.shards: list[MemoryBackend] = [factory(i) for i in range(n_shards)]

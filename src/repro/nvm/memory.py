@@ -181,7 +181,9 @@ class NVMRegion:
                 f"{addr}, size {self.size}"
             )
         self._alloc_cursor = addr + nbytes
-        self.allocations.append(Allocation(label or f"alloc{len(self.allocations)}", addr, nbytes))
+        self.allocations.append(
+            Allocation(label or f"alloc{len(self.allocations)}", addr, nbytes)
+        )
         return addr
 
     @property
@@ -378,7 +380,9 @@ class NVMRegion:
     # ------------------------------------------------------------------
     # bulk probes (reference event semantics for every backend)
 
-    def scan_clear_u64(self, addr: int, stride: int, count: int, mask: int = 1) -> int | None:
+    def scan_clear_u64(
+        self, addr: int, stride: int, count: int, mask: int = 1
+    ) -> int | None:
         """Index of the first of ``count`` strided header words with
         ``(word & mask) == 0``, or None.
 
@@ -394,7 +398,14 @@ class NVMRegion:
         return None
 
     def scan_match(
-        self, addr: int, stride: int, count: int, key: bytes, *, mask: int = 1, key_offset: int = 8
+        self,
+        addr: int,
+        stride: int,
+        count: int,
+        key: bytes,
+        *,
+        mask: int = 1,
+        key_offset: int = 8,
     ) -> int | None:
         """Index of the first of ``count`` strided cells that is occupied
         (header byte 0 & ``mask``) and stores ``key`` at ``key_offset``.

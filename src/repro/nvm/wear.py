@@ -39,7 +39,9 @@ class WearReport:
     @property
     def imbalance(self) -> float:
         """max/mean over touched lines — 1.0 is perfectly level wear."""
-        return self.max_line_writes / self.mean_line_writes if self.mean_line_writes else 0.0
+        if not self.mean_line_writes:
+            return 0.0
+        return self.max_line_writes / self.mean_line_writes
 
     def lifetime_fraction(self, endurance: float) -> float:
         """Fraction of the hottest line's endurance consumed."""

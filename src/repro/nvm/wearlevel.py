@@ -152,7 +152,8 @@ class WearLevelledRegion(NVMRegion):
     def _writeback(self, line: int) -> None:
         """Register-line writes model on-controller registers (as in the
         original start-gap hardware), so they don't count as media wear."""
-        if self.wear is not None and line == self._register_addr // self.config.cache.line_size:
+        register_line = self._register_addr // self.config.cache.line_size
+        if self.wear is not None and line == register_line:
             wear, self.wear = self.wear, None
             try:
                 super()._writeback(line)
@@ -201,7 +202,10 @@ class WearLevelledRegion(NVMRegion):
         if self._rotating:  # rotation's own traffic is already physical
             return super().read(addr, size)
         self._check_logical(addr, size)
-        parts = [super(WearLevelledRegion, self).read(p, e - s) for p, s, e in self._segments(addr, size)]
+        parts = [
+            super(WearLevelledRegion, self).read(p, e - s)
+            for p, s, e in self._segments(addr, size)
+        ]
         return b"".join(parts)
 
     def write(self, addr: int, data: bytes) -> None:

@@ -303,3 +303,31 @@ class PersistentHashTable(abc.ABC):
         """Whether the persistent count matches actual occupancy
         (a consistency invariant used throughout the tests)."""
         return sum(1 for _ in self.items()) == self.persisted_count
+
+    def integrity_violations(self) -> list[str]:
+        """Structural problems with the recovered table, as human-readable
+        strings (empty = sound).
+
+        This is the crash-matrix "invariant" oracle
+        (:mod:`repro.nvm.crashpoint`): the persistent ``count`` field must
+        match actual occupancy, no key may appear in two cells, and an
+        attached undo log must be truncated. Reads use the cost-free peek
+        API so diagnostics never perturb simulated statistics. Subclasses
+        extend this with scheme-specific postconditions (group hashing
+        adds Algorithm 4's unoccupied-cells-are-zero check)."""
+        problems: list[str] = []
+        keys = [k for k, _ in self.items()]
+        if len(set(keys)) != len(keys):
+            problems.append(f"duplicate keys in table ({len(keys)} cells)")
+        persisted = int.from_bytes(
+            self.region.peek_persistent(self._count_addr, 8), "little"
+        )
+        if persisted != len(keys):
+            problems.append(
+                f"persistent count {persisted} != occupancy {len(keys)}"
+            )
+        if self.log is not None and self.log.persisted_tail != 0:
+            problems.append(
+                f"undo log tail {self.log.persisted_tail} not truncated"
+            )
+        return problems

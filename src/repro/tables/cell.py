@@ -95,7 +95,9 @@ class CellCodec:
 
     # -- writes (no persistence; callers sequence persists) -------------
 
-    def write_kv(self, region: MemoryBackend, addr: int, key: bytes, value: bytes) -> None:
+    def write_kv(
+        self, region: MemoryBackend, addr: int, key: bytes, value: bytes
+    ) -> None:
         """Store key and value fields (not the header) in one write."""
         if len(key) != self.spec.key_size or len(value) != self.spec.value_size:
             raise ValueError(

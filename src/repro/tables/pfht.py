@@ -126,7 +126,9 @@ class PFHTTable(PersistentHashTable):
             if alt_slot is None:
                 continue
             victim_value = codec.read_value(region, addr)
-            self._relocate(addr, self._cell_addr(alt, alt_slot), victim_key, victim_value)
+            self._relocate(
+                addr, self._cell_addr(alt, alt_slot), victim_key, victim_value
+            )
             self._install(addr, key, value)
             return True
         return False

@@ -114,6 +114,12 @@ class UndoLog:
         """Entries not yet committed (nonzero only mid-operation)."""
         return self._tail
 
+    @property
+    def persisted_tail(self) -> int:
+        """The tail pointer as stored in the persistent image (cost-free
+        peek — used by integrity checks, not workload code)."""
+        return int.from_bytes(self.region.peek_persistent(self._tail_addr, 8), "little")
+
     def needs_recovery(self) -> bool:
         """Whether the persistent tail indicates an interrupted operation."""
         return self.region.read_u64(self._tail_addr) != 0

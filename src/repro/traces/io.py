@@ -33,7 +33,9 @@ class FileTrace(Trace):
 
     name = "file"
 
-    def __init__(self, items: list[tuple[bytes, bytes]], spec: ItemSpec, name: str) -> None:
+    def __init__(
+        self, items: list[tuple[bytes, bytes]], spec: ItemSpec, name: str
+    ) -> None:
         super().__init__(seed=0)
         if not items:
             raise ValueError("trace file contained no items")

@@ -12,7 +12,7 @@ import pytest
 # default engine; tests that exercise the cache pass explicit cache dirs.
 os.environ.setdefault("REPRO_BENCH_NO_CACHE", "1")
 
-from repro import (
+from repro import (  # noqa: E402  (the cache env var must be set first)
     CacheConfig,
     ChainedHashTable,
     CuckooHashTable,

@@ -38,7 +38,8 @@ def test_level1_occupancy_limits():
 
 def test_level2_population_complements():
     m, n = 300, 256
-    assert group_level1_occupancy(m, n) + group_level2_population(m, n) == pytest.approx(m)
+    total = group_level1_occupancy(m, n) + group_level2_population(m, n)
+    assert total == pytest.approx(m)
 
 
 def test_fill_fraction_monotone_in_m():

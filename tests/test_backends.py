@@ -54,7 +54,8 @@ def event_counts(backend):
 def test_backends_satisfy_protocol():
     assert isinstance(small_region(), MemoryBackend)
     assert isinstance(make_raw(), MemoryBackend)
-    assert isinstance(ShardedBackend(2, lambda i: RawBackend(1 << 16)).shard(0), MemoryBackend)
+    sharded = ShardedBackend(2, lambda i: RawBackend(1 << 16))
+    assert isinstance(sharded.shard(0), MemoryBackend)
 
 
 def test_simbackend_is_nvmregion():
@@ -152,10 +153,19 @@ def test_raw_scan_primitives_match_reference():
             backend.write(base + 24 * i + 8, bytes([i]) * 8)
     sim_base = sim.allocations[-1].addr
     raw_base = raw.allocations[-1].addr
-    assert sim.scan_clear_u64(sim_base, 24, 16) == raw.scan_clear_u64(raw_base, 24, 16) == 1
-    assert sim.scan_clear_u64(sim_base, 24, 1) is None and raw.scan_clear_u64(raw_base, 24, 1) is None
+    assert (
+        sim.scan_clear_u64(sim_base, 24, 16)
+        == raw.scan_clear_u64(raw_base, 24, 16)
+        == 1
+    )
+    assert sim.scan_clear_u64(sim_base, 24, 1) is None
+    assert raw.scan_clear_u64(raw_base, 24, 1) is None
     key = bytes([6]) * 8
-    assert sim.scan_match(sim_base, 24, 16, key) == raw.scan_match(raw_base, 24, 16, key) == 6
+    assert (
+        sim.scan_match(sim_base, 24, 16, key)
+        == raw.scan_match(raw_base, 24, 16, key)
+        == 6
+    )
     missing = bytes([7]) * 8  # written but cell 7 is unoccupied
     assert sim.scan_match(sim_base, 24, 16, missing) is None
     assert raw.scan_match(raw_base, 24, 16, missing) is None

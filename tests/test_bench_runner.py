@@ -2,11 +2,15 @@
 
 import pytest
 
-from repro.bench import RunSpec, measure_recovery, measure_space_utilization, run_workload
+from repro.bench import (
+    RunSpec,
+    measure_recovery,
+    measure_space_utilization,
+    run_workload,
+)
 from repro.bench.config import build_table, make_trace
 from repro.bench.runner import OpMetrics, fill_to_load_factor
 from repro.nvm import MemStats
-from repro.tables import ItemSpec
 
 
 SMALL = dict(total_cells=1 << 10, group_size=32, measure_ops=50)

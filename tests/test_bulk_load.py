@@ -1,6 +1,5 @@
 """Tests for the bulk-loading fast path."""
 
-import pytest
 
 from tests.conftest import random_items, small_region
 

@@ -1,7 +1,6 @@
 """Scheme-specific tests for chained hashing (node pool, atomic link-in,
 free list)."""
 
-import pytest
 
 from tests.conftest import random_items, small_region
 

@@ -3,12 +3,11 @@ event-cost accounting must satisfy, checked under random access
 sequences. A violation here would undermine every latency number in
 EXPERIMENTS.md."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.nvm import CacheConfig, NVMRegion, SimConfig
-from repro.nvm.latency import DRAM, PAPER_NVM, PCM
+from repro.nvm.latency import DRAM, PCM
 
 CACHE = CacheConfig(size_bytes=4096, line_size=64, associativity=2)
 

@@ -16,7 +16,6 @@ backward-shift delete — genuinely can corrupt, which is the paper's
 motivation for comparing against logged variants only.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -43,11 +42,14 @@ def fuzz_one_crash(
     committed = {k: v for k, v in pre if table.insert(k, v)}
 
     if op_kind == "insert":
-        op = lambda: table.insert(*extra)
+        def op():
+            return table.insert(*extra)
         in_flight = extra
     else:
         victim = sorted(committed)[len(committed) // 2]
-        op = lambda: table.delete(victim)
+
+        def op():
+            return table.delete(victim)
         in_flight = (victim, committed[victim])
 
     region.arm_crash(at_event)
@@ -98,25 +100,33 @@ SCHED = st.integers(0, 2**20)
 @settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(op=st.sampled_from(["insert", "delete"]), at=EVENTS, sched=SCHED)
 def test_group_crash_consistency_fuzz(op, at, sched):
-    fuzz_one_crash("group", logged=False, n_pre=24, op_kind=op, at_event=at, schedule_seed=sched)
+    fuzz_one_crash(
+        "group", logged=False, n_pre=24, op_kind=op, at_event=at, schedule_seed=sched
+    )
 
 
 @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(op=st.sampled_from(["insert", "delete"]), at=st.integers(1, 40), sched=SCHED)
 def test_logged_linear_crash_consistency_fuzz(op, at, sched):
-    fuzz_one_crash("linear", logged=True, n_pre=24, op_kind=op, at_event=at, schedule_seed=sched)
+    fuzz_one_crash(
+        "linear", logged=True, n_pre=24, op_kind=op, at_event=at, schedule_seed=sched
+    )
 
 
 @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(op=st.sampled_from(["insert", "delete"]), at=st.integers(1, 40), sched=SCHED)
 def test_logged_pfht_crash_consistency_fuzz(op, at, sched):
-    fuzz_one_crash("pfht", logged=True, n_pre=24, op_kind=op, at_event=at, schedule_seed=sched)
+    fuzz_one_crash(
+        "pfht", logged=True, n_pre=24, op_kind=op, at_event=at, schedule_seed=sched
+    )
 
 
 @settings(max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(op=st.sampled_from(["insert", "delete"]), at=st.integers(1, 40), sched=SCHED)
 def test_logged_path_crash_consistency_fuzz(op, at, sched):
-    fuzz_one_crash("path", logged=True, n_pre=24, op_kind=op, at_event=at, schedule_seed=sched)
+    fuzz_one_crash(
+        "path", logged=True, n_pre=24, op_kind=op, at_event=at, schedule_seed=sched
+    )
 
 
 def test_unlogged_linear_delete_can_corrupt():

@@ -2,7 +2,6 @@
 insert/delete fuzz of test_crash_consistency.py to the third mutating
 operation."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

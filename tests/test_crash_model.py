@@ -1,6 +1,5 @@
 """Tests for crash schedules and NVMRegion.crash() semantics."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -10,9 +10,9 @@ def layout(n=256, g=32):
 
 
 def test_group_count_and_totals():
-    l = layout(256, 32)
-    assert l.n_groups == 8
-    assert l.total_cells == 512
+    lay = layout(256, 32)
+    assert lay.n_groups == 8
+    assert lay.total_cells == 512
 
 
 def test_group_size_must_divide_level():
@@ -28,39 +28,39 @@ def test_rejects_nonpositive():
 
 
 def test_slot_wraps_hash():
-    l = layout(256, 32)
-    assert l.slot(256) == 0
-    assert l.slot(300) == 44
+    lay = layout(256, 32)
+    assert lay.slot(256) == 0
+    assert lay.slot(300) == 44
 
 
 def test_group_start_matches_paper_formula():
     """j = k - k % group_size (Algorithm 1, line 13)."""
-    l = layout(256, 32)
+    lay = layout(256, 32)
     for k in (0, 1, 31, 32, 63, 255):
-        assert l.group_start(k) == k - k % 32
-        assert l.group_of(k) == k // 32
+        assert lay.group_start(k) == k - k % 32
+        assert lay.group_of(k) == k // 32
 
 
 def test_matched_groups_have_same_number():
     """Figure 3: level-1 group g overflows into level-2 group g."""
-    l = layout(256, 4)
+    lay = layout(256, 4)
     # paper example: cell index 5 → level-2 cells [4, 7]
     k = 5
-    start = l.group_start(k)
+    start = lay.group_start(k)
     assert start == 4
     assert [start + i for i in range(4)] == [4, 5, 6, 7]
 
 
 def test_addresses_are_contiguous_within_group():
-    l = layout(256, 32)
+    lay = layout(256, 32)
     codec = CellCodec(ItemSpec())
-    addrs = [l.tab2_addr(codec, i) for i in range(32)]
+    addrs = [lay.tab2_addr(codec, i) for i in range(32)]
     deltas = {b - a for a, b in zip(addrs, addrs[1:])}
     assert deltas == {codec.cell_size}
 
 
 def test_tab1_tab2_disjoint():
-    l = layout(256, 32)
+    lay = layout(256, 32)
     codec = CellCodec(ItemSpec())
-    end_tab1 = l.tab1_addr(codec, 255) + codec.cell_size
-    assert end_tab1 <= l.tab2_addr(codec, 0)
+    end_tab1 = lay.tab1_addr(codec, 255) + codec.cell_size
+    assert end_tab1 <= lay.tab2_addr(codec, 0)

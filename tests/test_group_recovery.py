@@ -5,7 +5,7 @@ import pytest
 from tests.conftest import random_items, small_region
 
 from repro import GroupHashTable, recover_group_table
-from repro.nvm import SimulatedPowerFailure, persist_all_schedule, random_schedule
+from repro.nvm import SimulatedPowerFailure, persist_all_schedule
 from repro.nvm.crash import FunctionSchedule
 
 

@@ -8,7 +8,6 @@ from tests.conftest import random_items
 from repro import (
     CacheConfig,
     GroupHashTable,
-    ItemSpec,
     LinearProbingTable,
     NVMRegion,
     PFHTTable,

@@ -1,11 +1,10 @@
 """Scheme-specific tests for linear probing (probe order, backward-shift
 deletion, cluster behaviour)."""
 
-import pytest
 
 from tests.conftest import random_items, small_region
 
-from repro import ItemSpec, LinearProbingTable, NVMRegion
+from repro import ItemSpec, LinearProbingTable
 
 
 def build(n_cells=64, seed=1):

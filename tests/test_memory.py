@@ -4,7 +4,7 @@ import pytest
 
 from repro.nvm import CacheConfig, NVMRegion, SimConfig
 from repro.nvm.latency import PAPER_NVM
-from repro.nvm.memory import ATOMIC_UNIT, SimulatedPowerFailure
+from repro.nvm.memory import SimulatedPowerFailure
 
 CFG = SimConfig(cache=CacheConfig(size_bytes=4096, line_size=64, associativity=2))
 

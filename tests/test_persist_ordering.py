@@ -15,7 +15,6 @@ orderings of Algorithms 1 and 3:
   overwritten.
 """
 
-import pytest
 
 from tests.conftest import make_table, small_region
 

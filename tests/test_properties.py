@@ -8,7 +8,7 @@ exactly (modulo capacity rejections, which the model tracks).
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from tests.conftest import ALL_SCHEMES, make_table, small_region
+from tests.conftest import make_table, small_region
 
 KEYS = st.integers(0, 40).map(lambda i: i.to_bytes(8, "little"))
 VALUES = st.integers(0, 255).map(lambda b: bytes([b]) * 8)

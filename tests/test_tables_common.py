@@ -7,9 +7,14 @@ persistence discipline, and recovery-from-clean-shutdown invariants.
 
 import pytest
 
-from tests.conftest import ALL_SCHEMES, LOGGABLE_SCHEMES, make_table, random_items, small_region
+from tests.conftest import (
+    ALL_SCHEMES,
+    LOGGABLE_SCHEMES,
+    make_table,
+    random_items,
+    small_region,
+)
 
-from repro.tables import TableFullError
 
 
 @pytest.fixture(params=ALL_SCHEMES)

@@ -6,7 +6,6 @@ import pytest
 
 from repro.traces import BagOfWordsTrace, FingerprintTrace
 from repro.traces.io import (
-    FileTrace,
     load_docword,
     load_fingerprints,
     save_docword,

@@ -1,6 +1,5 @@
 """Scheme-specific tests for 2-choice hashing (the exclusion case)."""
 
-import pytest
 
 from tests.conftest import random_items, small_region
 
