@@ -29,6 +29,7 @@ from repro.bench.experiments import (
     fig7,
     fig8,
     negative,
+    profile as profile_exp,
     sweep_lf,
     table3,
     writes,
@@ -49,6 +50,7 @@ EXPERIMENTS = {
     "backends": backends.run,
     "engine": engine_exp.run,
     "crashmatrix": crashmatrix.run,
+    "profile": profile_exp.run,
 }
 
 #: experiments that measure wall-clock and therefore build their own
@@ -131,6 +133,18 @@ def main(argv: list[str] | None = None) -> int:
         help="run the first uncached cell under cProfile and print the "
         "top-20 cumulative entries to stderr",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="fig5/fig6 only: record span traces for every grid cell "
+        "(results carry spans + Chrome trace events)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="fig5/fig6 only: collect the metrics registry for every "
+        "grid cell (probe histograms, WAL counters, group heat)",
+    )
     args = parser.parse_args(argv)
 
     from repro.bench.cache import NO_CACHE_ENV, ResultCache
@@ -143,7 +157,7 @@ def main(argv: list[str] | None = None) -> int:
         names = [
             "fig2", "fig5", "fig6", "fig7", "fig8", "table3",
             "writes", "ablations", "sweep", "negative", "crashmatrix",
-            "backends", "engine",
+            "profile", "backends", "engine",
         ]
 
     jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
@@ -166,13 +180,37 @@ def main(argv: list[str] | None = None) -> int:
                 backend=args.backend,
                 budget=args.budget,
             )
+        elif name in ("fig5", "fig6"):
+            result = runner(
+                scale,
+                seed=args.seed,
+                engine=eng,
+                with_trace=args.trace,
+                with_metrics=args.metrics,
+            )
         else:
             result = runner(scale, seed=args.seed, engine=eng)
         elapsed = time.perf_counter() - start
         print(hrule(f"{result.paper_ref} ({name}, scale={scale.name})"))
         print(result.text)
         print(f"  [wall-clock {elapsed:.1f}s — latencies above are simulated ns]")
-        dump[name] = _jsonable(result.data)
+        payload = result.data
+        if name == "profile":
+            # the Chrome trace goes to its own file (it is an artifact
+            # for a viewer, not part of the structured report)
+            payload = {k: v for k, v in payload.items() if k != "chrome_trace"}
+            trace_path = (
+                os.path.splitext(args.json)[0] + ".trace.json"
+                if args.json
+                else "profile.trace.json"
+            )
+            with open(trace_path, "w") as fh:
+                json.dump(result.data["chrome_trace"], fh)
+            print(
+                f"  [chrome trace written to {trace_path} — load it in "
+                "chrome://tracing or Perfetto]"
+            )
+        dump[name] = _jsonable(payload)
     if eng.cache:
         print(
             f"  [result cache: {eng.cache.hits} hit(s), "

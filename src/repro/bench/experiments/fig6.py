@@ -21,12 +21,23 @@ from repro.bench.experiments.latency_matrix import (
 from repro.bench.report import format_table
 
 
-def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
-    """Run the Figure 6 miss grid at ``scale``."""
+def run(
+    scale: Scale,
+    seed: int = 42,
+    engine=None,
+    *,
+    with_trace: bool = False,
+    with_metrics: bool = False,
+) -> ExperimentResult:
+    """Run the Figure 6 miss grid at ``scale``. ``with_trace`` /
+    ``with_metrics`` opt every grid cell into span tracing / metrics
+    collection (shared with Figure 5 through the matrix memo)."""
     from repro.bench.engine import default_engine
 
     engine = engine or default_engine()
-    matrix = collect_matrix(scale, seed, engine)
+    matrix = collect_matrix(
+        scale, seed, engine, with_trace=with_trace, with_metrics=with_metrics
+    )
     sections = []
     data: dict[str, dict] = {}
     for trace in TRACES:

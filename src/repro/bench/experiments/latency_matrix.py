@@ -18,13 +18,29 @@ TRACES = ("randomnum", "bagofwords", "fingerprint")
 LOAD_FACTORS = (0.5, 0.75)
 OPS = ("insert", "query", "delete")
 
-_cache: dict[tuple[str, int], dict[tuple[str, float, str], RunResult]] = {}
+_cache: dict[
+    tuple[str, int, bool, bool], dict[tuple[str, float, str], RunResult]
+] = {}
 
 
-def grid_specs(scale: Scale, seed: int = 42) -> dict[tuple[str, float, str], RunSpec]:
+def grid_specs(
+    scale: Scale,
+    seed: int = 42,
+    *,
+    with_trace: bool = False,
+    with_metrics: bool = False,
+) -> dict[tuple[str, float, str], RunSpec]:
     """The full (trace, load factor, scheme) grid as ordered specs."""
     return {
-        (trace, lf, scheme): RunSpec.from_scale(scheme, trace, lf, scale, seed=seed)
+        (trace, lf, scheme): RunSpec.from_scale(
+            scheme,
+            trace,
+            lf,
+            scale,
+            seed=seed,
+            with_trace=with_trace,
+            with_metrics=with_metrics,
+        )
         for trace in TRACES
         for lf in LOAD_FACTORS
         for scheme in SCHEMES
@@ -32,16 +48,23 @@ def grid_specs(scale: Scale, seed: int = 42) -> dict[tuple[str, float, str], Run
 
 
 def collect_matrix(
-    scale: Scale, seed: int = 42, engine=None
+    scale: Scale,
+    seed: int = 42,
+    engine=None,
+    *,
+    with_trace: bool = False,
+    with_metrics: bool = False,
 ) -> dict[tuple[str, float, str], RunResult]:
     """Run (or fetch memoised) workloads for every grid cell."""
-    key = (scale.name, seed)
+    key = (scale.name, seed, with_trace, with_metrics)
     if key in _cache:
         return _cache[key]
     from repro.bench.engine import default_engine
 
     engine = engine or default_engine()
-    specs = grid_specs(scale, seed)
+    specs = grid_specs(
+        scale, seed, with_trace=with_trace, with_metrics=with_metrics
+    )
     results = engine.run(list(specs.values()))
     matrix = dict(zip(specs.keys(), results))
     _cache[key] = matrix

@@ -1,0 +1,162 @@
+"""Profile experiment — where every simulated nanosecond goes.
+
+Runs the paper's measurement protocol for a handful of schemes with the
+observability layer enabled (``with_trace`` + ``with_metrics``) and
+reports, per scheme:
+
+- an **attribution table**: simulated ns, self time and persist events
+  by span path (``insert/kv_write``, ``delete/backward_shift``, ...),
+  heaviest first — the per-operation breakdown Figures 5/6 aggregate
+  away;
+- **probe-length histograms** (log2 buckets) for every probe metric the
+  scheme records;
+- the **top-k hottest level-2 groups** for group hashing (overflow
+  pressure heat map).
+
+The structured payload additionally carries a merged Chrome
+``trace_event`` stream (one pid per scheme) that the CLI writes next to
+the ``--json`` report for ``chrome://tracing`` / Perfetto, plus the
+span-vs-MemStats reconciliation numbers the acceptance tests check.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import Scale
+from repro.bench.experiments import ExperimentResult, attach_warnings
+from repro.bench.report import format_histogram
+from repro.bench.runner import RunResult, RunSpec
+from repro.obs import Heat
+
+#: schemes profiled by default: the paper's contribution, the two probe
+#: styles that bracket it, and one logged variant for WAL attribution
+PROFILE_SCHEMES = ("group", "linear", "linear-L", "pfht", "path")
+
+#: attribution-table rows shown per scheme (heaviest span paths first)
+TOP_SPANS = 14
+
+#: hottest level-2 groups listed for group hashing
+TOP_GROUPS = 8
+
+
+def _attribution_table(scheme: str, spans: dict) -> str:
+    """Render one scheme's span summary as an aligned attribution table."""
+    lines = [
+        f"Attribution — {scheme}  [simulated ns by span path]",
+        f"  {'span path':<34}{'count':>8}{'sim ns':>14}{'ns/op':>10}"
+        f"{'self ns':>14}{'flush':>7}{'fence':>7}{'write':>7}",
+    ]
+    for path, agg in list(spans.items())[:TOP_SPANS]:
+        count = agg["count"] or 1
+        lines.append(
+            f"  {path:<34}{agg['count']:>8}{agg['sim_ns']:>14.0f}"
+            f"{agg['sim_ns'] / count:>10.1f}{agg['self_ns']:>14.0f}"
+            f"{agg['ev_flush']:>7}{agg['ev_fence']:>7}{agg['ev_write']:>7}"
+        )
+    if len(spans) > TOP_SPANS:
+        lines.append(f"  ... {len(spans) - TOP_SPANS} more span path(s)")
+    return "\n".join(lines)
+
+
+def _heat_section(metrics: dict) -> str | None:
+    """Render the hottest overflow groups, when the scheme records them."""
+    payload = metrics.get("heats", {}).get("group.overflow_heat")
+    if not payload:
+        return None
+    heat = Heat.from_dict(payload)
+    lines = [f"Hottest level-2 groups  [overflow probes, total={heat.total}]"]
+    for group, hits in heat.top(TOP_GROUPS):
+        lines.append(f"  group {group:>6}  {hits:>8}")
+    return "\n".join(lines)
+
+
+def _chrome_events(scheme: str, pid: int, result: RunResult) -> list[dict]:
+    """Re-pid one cell's trace events and prepend the process metadata."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 1,
+            "args": {"name": scheme},
+        }
+    ]
+    for ev in result.trace_events or []:
+        events.append({**ev, "pid": pid})
+    return events
+
+
+def run(
+    scale: Scale,
+    seed: int = 42,
+    engine=None,
+    *,
+    schemes: tuple[str, ...] | None = None,
+    trace: str = "randomnum",
+    load_factor: float = 0.5,
+) -> ExperimentResult:
+    """Profile ``schemes`` (default :data:`PROFILE_SCHEMES`) at
+    ``scale``: per-scheme span attribution, probe histograms, group heat
+    and a merged Chrome trace."""
+    from repro.bench.engine import default_engine
+
+    engine = engine or default_engine()
+    schemes = tuple(schemes or PROFILE_SCHEMES)
+    specs = {
+        scheme: RunSpec.from_scale(
+            scheme,
+            trace,
+            load_factor,
+            scale,
+            seed=seed,
+            with_trace=True,
+            with_metrics=True,
+        )
+        for scheme in schemes
+    }
+    results = dict(zip(specs.keys(), engine.run(list(specs.values()))))
+
+    sections: list[str] = []
+    data: dict[str, object] = {"schemes": {}, "chrome_trace": None}
+    trace_events: list[dict] = []
+    for pid, (scheme, result) in enumerate(results.items(), start=1):
+        spans = (result.spans or {}).get("spans", {})
+        metrics = result.metrics or {}
+        block = [_attribution_table(scheme, spans)]
+        for name, payload in sorted(metrics.get("histograms", {}).items()):
+            if name.endswith("_probe_cells") or name.endswith("_shifts"):
+                block.append(format_histogram(f"{name}", payload))
+        heat = _heat_section(metrics)
+        if heat is not None:
+            block.append(heat)
+        span_ns = result.extras.get("span_sim_ns", 0.0)
+        phase_ns = result.extras.get("phase_sim_ns", 0.0)
+        ops = result.insert.ops + result.query.ops + result.delete.ops
+        block.append(
+            f"reconciliation: span ns {span_ns:.0f} vs phase ns "
+            f"{phase_ns:.0f} over {ops} ops "
+            f"(drift {abs(span_ns - phase_ns) / max(1, ops):.3f} ns/op)"
+        )
+        sections.append("\n\n".join(block))
+        data["schemes"][scheme] = {  # type: ignore[index]
+            "spans": result.spans,
+            "metrics": result.metrics,
+            "reconciliation": {
+                "span_sim_ns": span_ns,
+                "phase_sim_ns": phase_ns,
+                "ops": ops,
+            },
+        }
+        trace_events.extend(_chrome_events(scheme, pid, result))
+
+    data["chrome_trace"] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ns",
+        "otherData": {"clock": "simulated"},
+    }
+    result = ExperimentResult(
+        name="profile",
+        paper_ref="Attribution profile (observability extension)",
+        data=data,
+        text="\n\n".join(sections),
+    )
+    return attach_warnings(result, engine)

@@ -33,6 +33,29 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_histogram(
+    title: str,
+    payload: Mapping,
+    *,
+    width: int = 40,
+) -> str:
+    """Render one exported :class:`~repro.obs.Histogram` block (the
+    ``as_dict`` form) as an aligned bar chart, one line per non-empty
+    log2 bucket."""
+    from repro.obs import bucket_label
+
+    buckets = payload.get("buckets", [])
+    count = payload.get("count", 0)
+    lines = [f"{title}  [n={count}, mean={payload.get('sum', 0) / max(1, count):.2f}]"]
+    peak = max(buckets, default=0)
+    for i, c in enumerate(buckets):
+        if not c:
+            continue
+        bar = "#" * max(1, int(width * c / peak)) if peak else ""
+        lines.append(f"  {bucket_label(i):>12}  {c:>8}  {bar}")
+    return "\n".join(lines)
+
+
 def format_ratio_note(note: str) -> str:
     """Footnote line under a table (e.g. the paper's headline ratios)."""
     return f"  -> {note}"

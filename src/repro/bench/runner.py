@@ -25,6 +25,7 @@ from typing import Iterator
 
 from repro.bench.config import BuiltTable, Scale, build_table, make_trace
 from repro.nvm import MemStats
+from repro.obs import MetricsRegistry, Tracer
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,14 @@ class RunSpec:
     #: memory substrate: "sim" (costed simulator; the only valid choice
     #: for figure benches) or "raw" (wall-clock fast path)
     backend: str = "sim"
+    #: populate a metrics registry (probe histograms, WAL counters,
+    #: group heat) during the measured phases; the result then carries a
+    #: ``metrics`` block
+    with_metrics: bool = False
+    #: record a span tree of the measured phases (per-op spans plus the
+    #: tables' stage spans); the result then carries ``spans`` and
+    #: Chrome ``trace_events`` blocks
+    with_trace: bool = False
 
     @classmethod
     def from_scale(
@@ -224,6 +233,15 @@ class RunResult:
     capacity: int = 0
     fill_failures: int = 0
     extras: dict[str, float] = field(default_factory=dict)
+    #: exported :class:`~repro.obs.MetricsRegistry` block (``None``
+    #: unless the spec set ``with_metrics``)
+    metrics: dict | None = None
+    #: aggregated span attribution (``Tracer.as_dict()``; ``None``
+    #: unless the spec set ``with_trace``)
+    spans: dict | None = None
+    #: Chrome ``trace_event`` records for this cell (``None`` unless the
+    #: spec set ``with_trace``)
+    trace_events: list | None = None
 
     def phase(self, name: str) -> OpMetrics:
         """Metrics for one measured phase ("insert"/"query"/"delete")."""
@@ -248,6 +266,9 @@ class RunResult:
             "capacity": self.capacity,
             "fill_failures": self.fill_failures,
             "extras": dict(self.extras),
+            "metrics": self.metrics,
+            "spans": self.spans,
+            "trace_events": self.trace_events,
         }
 
     @classmethod
@@ -261,6 +282,9 @@ class RunResult:
             capacity=data["capacity"],
             fill_failures=data["fill_failures"],
             extras=dict(data.get("extras", {})),
+            metrics=data.get("metrics"),
+            spans=data.get("spans"),
+            trace_events=data.get("trace_events"),
         )
 
 
@@ -313,13 +337,31 @@ def run_workload(spec: RunSpec) -> RunResult:
     stream = trace.unique_items()
     resident, failures = fill_to_load_factor(built, stream, spec.load_factor)
 
+    # Observability opt-in. Instrumented *after* the fill so only the
+    # measured phases are attributed; both sinks purely observe (stats
+    # snapshots + chained event hooks), so the simulated event stream and
+    # clock are identical with or without them.
+    tracer: Tracer | None = None
+    metrics: MetricsRegistry | None = None
+    if spec.with_metrics:
+        metrics = MetricsRegistry()
+    if spec.with_trace:
+        tracer = Tracer(region, max_events=20_000)
+    if tracer is not None or metrics is not None:
+        table.instrument(tracer, metrics)
+
     # fresh keys for the measured inserts: continue the same unique stream
     fresh = [next(stream) for _ in range(spec.measure_ops)]
 
     before = region.stats.snapshot()
     inserted = []
     for key, value in fresh:
-        if table.insert(key, value):
+        if tracer is not None:
+            tracer.push("insert")
+        ok = table.insert(key, value)
+        if tracer is not None:
+            tracer.pop()
+        if ok:
             inserted.append((key, value))
     insert_metrics = OpMetrics.from_delta(
         max(1, len(inserted)), region.stats.delta(before), attempted=len(fresh)
@@ -335,7 +377,11 @@ def run_workload(spec: RunSpec) -> RunResult:
 
     before = region.stats.snapshot()
     for key, value in targets:
+        if tracer is not None:
+            tracer.push("query")
         found = table.query(key)
+        if tracer is not None:
+            tracer.pop()
         assert found == value, f"{spec.scheme}: query returned wrong value"
     query_metrics = OpMetrics.from_delta(
         max(1, len(targets)), region.stats.delta(before),
@@ -344,14 +390,18 @@ def run_workload(spec: RunSpec) -> RunResult:
 
     before = region.stats.snapshot()
     for key, _ in targets:
+        if tracer is not None:
+            tracer.push("delete")
         deleted = table.delete(key)
+        if tracer is not None:
+            tracer.pop()
         assert deleted, f"{spec.scheme}: delete lost an item"
     delete_metrics = OpMetrics.from_delta(
         max(1, len(targets)), region.stats.delta(before),
         attempted=spec.measure_ops,
     )
 
-    return RunResult(
+    result = RunResult(
         spec=spec,
         insert=insert_metrics,
         query=query_metrics,
@@ -360,6 +410,28 @@ def run_workload(spec: RunSpec) -> RunResult:
         capacity=table.capacity,
         fill_failures=failures,
     )
+    if metrics is not None:
+        observe = getattr(table, "observe_occupancy", None)
+        if observe is not None:
+            observe(metrics)
+        result.metrics = metrics.as_dict()
+    if tracer is not None:
+        tracer.detach()
+        summary = tracer.span_summary()
+        # Reconciliation: the per-op spans telescope over each measured
+        # phase (no simulated activity happens between ops), so their
+        # inclusive sums must equal the phases' MemStats deltas.
+        span_ns = sum(v["sim_ns"] for p, v in summary.items() if "/" not in p)
+        phase_ns = (
+            insert_metrics.sim_ns + query_metrics.sim_ns + delete_metrics.sim_ns
+        )
+        result.extras["span_sim_ns"] = span_ns
+        result.extras["phase_sim_ns"] = phase_ns
+        result.spans = tracer.as_dict()
+        result.trace_events = tracer.chrome_events()
+    if tracer is not None or metrics is not None:
+        table.instrument(None, None)
+    return result
 
 
 def measure_space_utilization(

@@ -117,21 +117,43 @@ class GroupHashTable(PersistentHashTable):
         region = self.region
         cell_size = self.codec.cell_size
         group_size = self.group_size
+        tr, mx = self.tracer, self.metrics
         for h in self._hashes:
+            if tr is not None:
+                tr.push("hash")
             k = h(key) % layout.n_cells_level
+            if tr is not None:
+                tr.pop()
+                tr.push("l1_probe")
             addr1 = layout.tab1_base + k * cell_size
-            if not region.read_u64(addr1) & OCCUPIED_BIT:
+            l1_free = not region.read_u64(addr1) & OCCUPIED_BIT
+            if tr is not None:
+                tr.pop()
+            if l1_free:
+                if mx is not None:
+                    mx.histogram("group.insert_probe_cells").record(1)
+                    mx.counter("group.l1_inserts").inc()
                 self._install(addr1, key, value)
                 return True
             # Level-1 collision: scan the matched level-2 group — a
             # contiguous run of group_size cells.
+            if tr is not None:
+                tr.push("l2_probe")
             group_base = layout.tab2_base + (k - k % group_size) * cell_size
             i = region.scan_clear_u64(group_base, cell_size, group_size, OCCUPIED_BIT)
+            if tr is not None:
+                tr.pop()
             if i is not None:
+                if mx is not None:
+                    mx.histogram("group.insert_probe_cells").record(2 + i)
+                    mx.counter("group.overflow_inserts").inc()
+                    mx.heat("group.overflow_heat").touch(k // group_size)
                 self._install(group_base + i * cell_size, key, value)
                 return True
         # Both the home cell and its whole shared group are full: the
         # paper's signal that the table needs expansion.
+        if mx is not None:
+            mx.counter("group.insert_failures").inc()
         return False
 
     # ------------------------------------------------------------------
@@ -152,19 +174,40 @@ class GroupHashTable(PersistentHashTable):
         cell_size = self.codec.cell_size
         group_size = self.group_size
         probe_size = HEADER_SIZE + self.spec.key_size
+        tr, mx = self.tracer, self.metrics
         for h in self._hashes:
+            if tr is not None:
+                tr.push("hash")
             k = h(key) % layout.n_cells_level
+            if tr is not None:
+                tr.pop()
+                tr.push("l1_probe")
             addr1 = layout.tab1_base + k * cell_size
             raw = region.read(addr1, probe_size)
+            if tr is not None:
+                tr.pop()
             if raw[0] & OCCUPIED_BIT and raw[HEADER_SIZE:] == key:
+                if mx is not None:
+                    mx.histogram("group.find_probe_cells").record(1)
                 return addr1
+            if tr is not None:
+                tr.push("l2_probe")
             group_base = layout.tab2_base + (k - k % group_size) * cell_size
             i = region.scan_match(
                 group_base, cell_size, group_size, key,
                 mask=OCCUPIED_BIT, key_offset=HEADER_SIZE,
             )
+            if tr is not None:
+                tr.pop()
             if i is not None:
+                if mx is not None:
+                    mx.histogram("group.find_probe_cells").record(2 + i)
+                    mx.heat("group.overflow_heat").touch(k // group_size)
                 return group_base + i * cell_size
+        if mx is not None:
+            mx.histogram("group.find_probe_cells").record(
+                (1 + group_size) * self.n_hash_functions
+            )
         return None
 
     # ------------------------------------------------------------------
@@ -220,6 +263,33 @@ class GroupHashTable(PersistentHashTable):
             if codec.is_occupied(region, layout.tab2_addr(codec, i))
         )
         return l1, l2
+
+    def observe_occupancy(self, metrics) -> None:
+        """Record the current occupancy picture into ``metrics`` without
+        touching simulated state: level gauges (``group.l1_occupied`` /
+        ``group.l2_occupied``) and a per-group level-2 fill heat map
+        (``group.occupancy_heat``). Reads use the cost-free peek API so
+        this can run mid-benchmark."""
+        codec, region, layout = self.codec, self.region, self.layout
+        l1 = 0
+        for i in range(layout.n_cells_level):
+            raw = region.peek_volatile(layout.tab1_addr(codec, i), 1)
+            if raw[0] & OCCUPIED_BIT:
+                l1 += 1
+        heat = metrics.heat("group.occupancy_heat")
+        group_size = self.group_size
+        l2 = 0
+        for g in range(layout.n_cells_level // group_size):
+            fill = 0
+            for i in range(g * group_size, (g + 1) * group_size):
+                raw = region.peek_volatile(layout.tab2_addr(codec, i), 1)
+                if raw[0] & OCCUPIED_BIT:
+                    fill += 1
+            if fill:
+                heat.touch(g, fill)
+            l2 += fill
+        metrics.gauge("group.l1_occupied").set(l1)
+        metrics.gauge("group.l2_occupied").set(l2)
 
     def group_fill(self, group: int) -> int:
         """Occupied cells in level-2 group ``group`` (diagnostic)."""

@@ -51,7 +51,12 @@ def recover_group_table(table: "GroupHashTable") -> int:
     codec, region, layout = table.codec, table.region, table.layout
     spec = table.spec
     zero_kv = bytes(spec.item_size)
+    tr, mx = table.tracer, table.metrics
+    if tr is not None:
+        tr.push("recover")
     count = 0
+    scanned = 0
+    reset = 0
     for level_base_addr in (layout.tab1_base, layout.tab2_base):
         for i in range(layout.n_cells_level):
             addr = codec.addr(level_base_addr, i)
@@ -60,10 +65,18 @@ def recover_group_table(table: "GroupHashTable") -> int:
             # scan runs at ~one miss per line — the linearity Table 3
             # shows.
             raw = region.read(addr, HEADER_SIZE + spec.item_size)
+            scanned += 1
             if raw[0] & OCCUPIED_BIT:
                 count += 1
             elif raw[HEADER_SIZE:] != zero_kv:
                 codec.clear_kv(region, addr)
                 region.persist(*codec.kv_span(addr))
+                reset += 1
     table._set_count(count)
+    if mx is not None:
+        mx.counter("recovery.cells_scanned").inc(scanned)
+        mx.counter("recovery.cells_reset").inc(reset)
+        mx.counter("recovery.runs").inc()
+    if tr is not None:
+        tr.pop()
     return count

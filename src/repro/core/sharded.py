@@ -177,7 +177,26 @@ class ShardedTable:
     @property
     def stats(self) -> MemStats:
         """Aggregated event counters across every shard's backend."""
-        return self.backend.stats
+        return self.merged_stats()
+
+    def shard_stats(self) -> list[MemStats]:
+        """Each shard backend's counters, in shard order (snapshots —
+        mutating them does not affect the shards)."""
+        return [self.backend.shard(i).stats.snapshot() for i in range(self.n_shards)]
+
+    def merged_stats(self) -> MemStats:
+        """Element-wise sum of every shard's counters via
+        :meth:`MemStats.merged_all` — the convenience benchmarks use
+        instead of hand-rolling per-shard merge loops."""
+        return MemStats.merged_all(self.shard_stats())
+
+    def instrument(self, tracer=None, metrics=None) -> None:
+        """Attach observability sinks to every shard's table (see
+        :meth:`PersistentHashTable.instrument`); all shards share the
+        one tracer and registry, so spans and counters aggregate across
+        the whole partitioned table."""
+        for table in self.tables:
+            table.instrument(tracer, metrics)
 
     def items(self) -> Iterator[tuple[bytes, bytes]]:
         """Yield all stored pairs, shard by shard (cost-free inventory)."""

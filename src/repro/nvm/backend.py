@@ -679,10 +679,7 @@ class ShardedBackend:
     def stats(self) -> MemStats:
         """Element-wise sum of every shard's counters (a fresh snapshot;
         mutating it does not affect the shards)."""
-        total = MemStats()
-        for s in self.shards:
-            total = total.merged(s.stats)
-        return total
+        return MemStats.merged_all(s.stats for s in self.shards)
 
     def crash(
         self,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Iterable
 
 
 @dataclass(slots=True)
@@ -94,6 +95,16 @@ class MemStats:
             )
         return out
 
+    @classmethod
+    def merged_all(cls, stats: "Iterable[MemStats]") -> "MemStats":
+        """Element-wise sum of any number of counter sets (zeros for an
+        empty iterable) — the aggregation shards and worker processes
+        use instead of hand-rolled merge loops."""
+        out = cls()
+        for s in stats:
+            out = out.merged(s)
+        return out
+
     @property
     def accesses(self) -> int:
         """Total program-issued memory accesses."""
@@ -110,6 +121,16 @@ class MemStats:
         for field in dataclasses.fields(MemStats):
             setattr(self, field.name, 0.0 if field.name == "sim_time_ns" else 0)
 
-    def as_dict(self) -> dict[str, float]:
-        """Return counters as a plain dict (for reports and JSON dumps)."""
+    def as_dict(self) -> dict[str, int | float]:
+        """Return counters as a plain dict (for reports and JSON dumps).
+
+        Every event counter is an exact ``int``; only ``sim_time_ns`` is
+        a float. :meth:`from_dict` round-trips the exact values."""
         return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: "dict[str, int | float]") -> "MemStats":
+        """Rebuild a counter set from :meth:`as_dict` output (unknown
+        keys are ignored, missing ones default to zero)."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})

@@ -1,0 +1,41 @@
+"""Structured observability: span tracing and a mergeable metrics registry.
+
+Two complementary views of one simulated run:
+
+- :class:`Tracer` (``tracer.py``) attributes every simulated nanosecond
+  and persist event to a tree of named spans (hash → level-1 probe →
+  group overflow probe → bitmap commit → undo-log write), exportable as
+  an aggregate attribution table or a Chrome ``trace_event`` file;
+- :class:`MetricsRegistry` (``metrics.py``) counts structural facts —
+  probe-length histograms, per-group heat, WAL/rollback counters —
+  in plain Python, mergeable across engine worker processes.
+
+Both are strictly observational: with them disabled the simulation is
+byte-identical, and even enabled they issue zero extra region events.
+"""
+
+from repro.obs.metrics import (
+    N_BUCKETS,
+    Counter,
+    Gauge,
+    Heat,
+    Histogram,
+    MetricsRegistry,
+    bucket_index,
+    bucket_label,
+    merge_metric_dicts,
+)
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "N_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Heat",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "bucket_index",
+    "bucket_label",
+    "merge_metric_dicts",
+]

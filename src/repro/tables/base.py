@@ -75,6 +75,11 @@ class PersistentHashTable(abc.ABC):
         )
         self._count_addr = self._info_addr + 8
         self._count = 0
+        #: observability hooks (``None`` = disabled; see ``instrument``).
+        #: Hot paths guard on a local copy, so the disabled cost is a
+        #: couple of attribute loads and None tests per operation.
+        self.tracer = None
+        self.metrics = None
         region.write_u64(self._info_addr, self._magic())
         region.write_u64(self._count_addr, 0)
 
@@ -85,6 +90,21 @@ class PersistentHashTable(abc.ABC):
         name = self.scheme_name.encode()
         digest = hashlib.blake2b(name, digest_size=4).digest()
         return _MAGIC.unpack((name + b"\0" * 4)[:4] + digest)[0]
+
+    def instrument(self, tracer=None, metrics=None) -> None:
+        """Attach observability sinks (:class:`~repro.obs.Tracer` /
+        :class:`~repro.obs.MetricsRegistry`); pass ``None`` to detach.
+
+        Purely observational: the tracer reads stats snapshots and the
+        metrics registry counts in plain Python, so instrumented runs
+        issue exactly the same region events as uninstrumented ones.
+        Attaching the tracer to the *backend* (``Tracer.attach``) is the
+        caller's job — this wires the table-side span emission only.
+        Subclasses with child tables (sharding) propagate the sinks."""
+        self.tracer = tracer
+        self.metrics = metrics
+        if self.log is not None:
+            self.log.metrics = metrics
 
     def _finish_layout(self) -> None:
         """Subclasses call this after allocating their cell arrays, once
@@ -150,12 +170,21 @@ class PersistentHashTable(abc.ABC):
         if addr is None:
             return False
         codec, region = self.codec, self.region
+        tr = self.tracer
         self._begin_op()
         if self.log is not None:
+            if tr is not None:
+                tr.push("undo_log")
             self.log.record(addr, codec.cell_size)
+            if tr is not None:
+                tr.pop()
+        if tr is not None:
+            tr.push("value_write")
         value_addr = addr + codec.value_offset
         region.write(value_addr, value)
         region.persist(value_addr, max(1, len(value)))
+        if tr is not None:
+            tr.pop()
         self._commit_op()
         return True
 
@@ -186,17 +215,32 @@ class PersistentHashTable(abc.ABC):
                 f"item must be {spec.key_size}+{spec.value_size} bytes, "
                 f"got {len(key)}+{len(value)}"
             )
+        tr = self.tracer
         if self.log is not None:
+            if tr is not None:
+                tr.push("undo_log")
             self.log.record(addr, codec.cell_size)
+            if tr is not None:
+                tr.pop()
         # 1. key+value, persisted (codec.write_kv + kv_span persist)
+        if tr is not None:
+            tr.push("kv_write")
         kv_addr = addr + HEADER_SIZE
         region.write(kv_addr, key + value)
         region.persist(kv_addr, spec.item_size)
         # 2. bitmap commit: atomic header store (codec.set_occupied)
+        if tr is not None:
+            tr.pop()
+            tr.push("bitmap_commit")
         region.write_atomic_u64(addr, region.read_u64(addr) | OCCUPIED_BIT)
         region.persist(addr, HEADER_SIZE)
         # 3. persistent count
+        if tr is not None:
+            tr.pop()
+            tr.push("count_commit")
         self._set_count(self._count + 1)
+        if tr is not None:
+            tr.pop()
 
     def _remove(self, addr: int) -> None:
         """Commit removal of the item in the cell at ``addr``.
@@ -205,13 +249,28 @@ class PersistentHashTable(abc.ABC):
         ordering, which recovery relies on (a cell with bitmap 0 may hold
         garbage; recovery resets it)."""
         codec, region = self.codec, self.region
+        tr = self.tracer
         if self.log is not None:
+            if tr is not None:
+                tr.push("undo_log")
             self.log.record(addr, codec.cell_size)
+            if tr is not None:
+                tr.pop()
+        if tr is not None:
+            tr.push("bitmap_commit")
         codec.set_occupied(region, addr, False)
         region.persist(addr, HEADER_SIZE)
+        if tr is not None:
+            tr.pop()
+            tr.push("kv_clear")
         codec.clear_kv(region, addr)
         region.persist(*codec.kv_span(addr))
+        if tr is not None:
+            tr.pop()
+            tr.push("count_commit")
         self._set_count(self._count - 1)
+        if tr is not None:
+            tr.pop()
 
     def _relocate(self, src: int, dst: int, key: bytes, value: bytes) -> None:
         """Move an item between cells (cuckoo displacement / backward
@@ -278,13 +337,23 @@ class PersistentHashTable(abc.ABC):
         ``count`` by scanning every cell. Group hashing overrides this
         with the paper's Algorithm 4 (which additionally resets the
         key/value fields of unoccupied cells)."""
+        tr, mx = self.tracer, self.metrics
+        if tr is not None:
+            tr.push("recover")
         if self.log is not None:
             self.log.recover()
         occupied = 0
+        scanned = 0
         for addr in self._iter_cell_addrs():
+            scanned += 1
             if self.codec.is_occupied(self.region, addr):
                 occupied += 1
         self._set_count(occupied)
+        if mx is not None:
+            mx.counter("recovery.cells_scanned").inc(scanned)
+            mx.counter("recovery.runs").inc()
+        if tr is not None:
+            tr.pop()
 
     # ------------------------------------------------------------------
     # test/debug inventory (reads the volatile view without charging costs)

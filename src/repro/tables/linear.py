@@ -64,19 +64,30 @@ class LinearProbingTable(PersistentHashTable):
 
     def insert(self, key: bytes, value: bytes) -> bool:
         codec, region, n = self.codec, self.region, self.n_cells
+        tr, mx = self.tracer, self.metrics
         start = self._slot(key)
         self._begin_op()
+        if tr is not None:
+            tr.push("probe")
+        found = None
         for step in range(n):
             idx = start + step
             if idx >= n:
                 idx -= n
             addr = self._addr(idx)
             if not codec.is_occupied(region, addr):
-                self._install(addr, key, value)
-                self._commit_op()
-                return True
+                found = (step, addr)
+                break
+        if tr is not None:
+            tr.pop()
+        if found is None:
+            self._commit_op()
+            return False
+        if mx is not None:
+            mx.histogram("linear.insert_probe_cells").record(found[0] + 1)
+        self._install(found[1], key, value)
         self._commit_op()
-        return False
+        return True
 
     def query(self, key: bytes) -> bytes | None:
         idx = self._find(key)
@@ -89,17 +100,28 @@ class LinearProbingTable(PersistentHashTable):
         cell terminates the search (valid because deletes backward-shift
         instead of leaving tombstones)."""
         codec, region, n = self.codec, self.region, self.n_cells
+        tr, mx = self.tracer, self.metrics
         start = self._slot(key)
+        if tr is not None:
+            tr.push("probe")
+        result = None
+        probed = 0
         for step in range(n):
             idx = start + step
             if idx >= n:
                 idx -= n
             occupied, cell_key = codec.probe(region, self._addr(idx))
+            probed = step + 1
             if not occupied:
-                return None
+                break
             if cell_key == key:
-                return idx
-        return None
+                result = idx
+                break
+        if tr is not None:
+            tr.pop()
+        if mx is not None:
+            mx.histogram("linear.find_probe_cells").record(probed)
+        return result
 
     def _locate(self, key: bytes) -> int | None:
         idx = self._find(key)
@@ -111,6 +133,10 @@ class LinearProbingTable(PersistentHashTable):
         if hole is None:
             return False
         self._begin_op()
+        tr, mx = self.tracer, self.metrics
+        if tr is not None:
+            tr.push("backward_shift")
+        shifts = 0
         # Backward-shift compaction (Knuth 6.4 Algorithm R): walk the rest
         # of the cluster and pull every item whose home slot would become
         # unreachable into the hole. Each pull is an extra NVM write +
@@ -140,6 +166,12 @@ class LinearProbingTable(PersistentHashTable):
                 codec.set_occupied(region, self._addr(hole), True)
                 region.persist(self._addr(hole), 8)
                 hole = j
+                shifts += 1
+        if tr is not None:
+            tr.pop()
+        if mx is not None:
+            mx.histogram("linear.delete_shifts").record(shifts)
+            mx.counter("linear.shift_moves").inc(shifts)
         self._remove(self._addr(hole))
         self._commit_op()
         return True

@@ -104,22 +104,46 @@ class PathHashingTable(PersistentHashTable):
 
     def insert(self, key: bytes, value: bytes) -> bool:
         codec, region = self.codec, self.region
+        tr, mx = self.tracer, self.metrics
         self._begin_op()
+        if tr is not None:
+            tr.push("path_probe")
+        found = None
+        probed = 0
         for addr in self._path_cells(key):
+            probed += 1
             if not codec.is_occupied(region, addr):
-                self._install(addr, key, value)
-                self._commit_op()
-                return True
+                found = addr
+                break
+        if tr is not None:
+            tr.pop()
+        if found is None:
+            self._commit_op()
+            return False
+        if mx is not None:
+            mx.histogram("path.insert_probe_cells").record(probed)
+        self._install(found, key, value)
         self._commit_op()
-        return False
+        return True
 
     def _find(self, key: bytes) -> int | None:
         codec, region = self.codec, self.region
+        tr, mx = self.tracer, self.metrics
+        if tr is not None:
+            tr.push("path_probe")
+        found = None
+        probed = 0
         for addr in self._path_cells(key):
             occupied, cell_key = codec.probe(region, addr)
+            probed += 1
             if occupied and cell_key == key:
-                return addr
-        return None
+                found = addr
+                break
+        if tr is not None:
+            tr.pop()
+        if mx is not None:
+            mx.histogram("path.find_probe_cells").record(probed)
+        return found
 
     def query(self, key: bytes) -> bytes | None:
         addr = self._find(key)

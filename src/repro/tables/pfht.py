@@ -93,19 +93,25 @@ class PFHTTable(PersistentHashTable):
         return None
 
     def insert(self, key: bytes, value: bytes) -> bool:
+        mx = self.metrics
         b1, b2 = self._buckets_of(key)
         self._begin_op()
         try:
             for bucket in (b1, b2):
                 slot = self._empty_slot(bucket)
                 if slot is not None:
+                    if mx is not None:
+                        mx.counter("pfht.bucket_inserts").inc()
                     self._install(self._cell_addr(bucket, slot), key, value)
                     return True
             if self._displace_and_install(b1, key, value):
                 return True
             if b2 != b1 and self._displace_and_install(b2, key, value):
                 return True
-            return self._stash_insert(key, value)
+            ok = self._stash_insert(key, value)
+            if mx is not None:
+                mx.counter("pfht.stash_inserts" if ok else "pfht.insert_failures").inc()
+            return ok
         finally:
             self._commit_op()
 
@@ -126,9 +132,16 @@ class PFHTTable(PersistentHashTable):
             if alt_slot is None:
                 continue
             victim_value = codec.read_value(region, addr)
+            tr, mx = self.tracer, self.metrics
+            if mx is not None:
+                mx.counter("pfht.displacements").inc()
+            if tr is not None:
+                tr.push("displace")
             self._relocate(
                 addr, self._cell_addr(alt, alt_slot), victim_key, victim_value
             )
+            if tr is not None:
+                tr.pop()
             self._install(addr, key, value)
             return True
         return False
@@ -148,19 +161,41 @@ class PFHTTable(PersistentHashTable):
         """Return the cell address holding ``key``, searching both
         buckets and then the stash linearly."""
         codec, region = self.codec, self.region
+        tr, mx = self.tracer, self.metrics
         b1, b2 = self._buckets_of(key)
         buckets = (b1,) if b1 == b2 else (b1, b2)
+        probed = 0
+        if tr is not None:
+            tr.push("bucket_probe")
         for bucket in buckets:
             for slot in range(self.bucket_size):
                 addr = self._cell_addr(bucket, slot)
                 occupied, cell_key = codec.probe(region, addr)
+                probed += 1
                 if occupied and cell_key == key:
+                    if tr is not None:
+                        tr.pop()
+                    if mx is not None:
+                        mx.histogram("pfht.find_probe_cells").record(probed)
                     return addr
+        if tr is not None:
+            tr.pop()
+            tr.push("stash_probe")
         for slot in range(self.stash_cells):
             addr = self._stash_addr(slot)
             occupied, cell_key = codec.probe(region, addr)
+            probed += 1
             if occupied and cell_key == key:
+                if tr is not None:
+                    tr.pop()
+                if mx is not None:
+                    mx.histogram("pfht.find_probe_cells").record(probed)
+                    mx.counter("pfht.stash_hits").inc()
                 return addr
+        if tr is not None:
+            tr.pop()
+        if mx is not None:
+            mx.histogram("pfht.find_probe_cells").record(probed)
         return None
 
     def query(self, key: bytes) -> bytes | None:

@@ -56,6 +56,11 @@ class UndoLog:
         self.region = region
         self.record_size = record_size
         self.capacity = capacity
+        #: optional :class:`~repro.obs.MetricsRegistry` counting log
+        #: traffic (``wal.records`` / ``wal.commits`` /
+        #: ``wal.rollback_entries``); ``None`` = disabled. Wired by
+        #: ``PersistentHashTable.instrument``.
+        self.metrics = None
         self.entry_stride = 16 + (-(-record_size // 8) * 8)
         self._tail_addr = region.alloc(CACHELINE, align=CACHELINE, label="undolog.tail")
         self._entries_addr = region.alloc(
@@ -98,6 +103,8 @@ class UndoLog:
         self._tail += 1
         region.write_atomic_u64(self._tail_addr, self._tail)
         region.persist(self._tail_addr, 8)
+        if self.metrics is not None:
+            self.metrics.counter("wal.records").inc()
 
     def commit(self) -> None:
         """Operation complete: truncate the log with one atomic persist."""
@@ -106,6 +113,8 @@ class UndoLog:
         self._tail = 0
         self.region.write_atomic_u64(self._tail_addr, 0)
         self.region.persist(self._tail_addr, 8)
+        if self.metrics is not None:
+            self.metrics.counter("wal.commits").inc()
 
     # ------------------------------------------------------------------
 
@@ -142,3 +151,6 @@ class UndoLog:
         self._tail = 0
         region.write_atomic_u64(self._tail_addr, 0)
         region.persist(self._tail_addr, 8)
+        if self.metrics is not None:
+            self.metrics.counter("wal.recoveries").inc()
+            self.metrics.counter("wal.rollback_entries").inc(tail)

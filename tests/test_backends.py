@@ -464,3 +464,99 @@ def test_runspec_raw_backend_runs_workload():
     )
     assert result.insert.sim_ns == 0.0
     assert result.insert.flushes > 0
+
+
+# ----------------------------------------------------------------------
+# event_hook semantics across backends (observability satellite)
+
+
+def record_hook(log, tag=None):
+    """A hook appending (kind, addr, size) (tagged when requested)."""
+
+    def hook(kind, addr, size):
+        log.append((tag, kind, addr, size) if tag is not None else (kind, addr, size))
+
+    return hook
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_event_hook_sequence_parity_sim_vs_raw(scheme):
+    # The hook is part of the backend contract: the parity workload must
+    # produce the identical (kind, addr, size) sequence, in program
+    # order, on the simulator and on the raw fast path.
+    sim_region, raw_region = small_region(), make_raw()
+    sim_table = make_table(scheme, sim_region)
+    raw_table = make_table(scheme, raw_region)
+    sim_events, raw_events = [], []
+    sim_region.event_hook = record_hook(sim_events)
+    raw_region.event_hook = record_hook(raw_events)
+    drive(sim_table, 100, seed=9)
+    drive(raw_table, 100, seed=9)
+    assert sim_events, "hook never fired"
+    assert sim_events == raw_events
+
+
+def test_event_hook_sequence_parity_sharded_sim_vs_raw():
+    # Sharded parity: per-shard hooks observe the same tagged sequence
+    # whether the shards are simulators or raw backends.
+    def build(factory):
+        st = ShardedTable(512, n_shards=2, backend_factory=factory, seed=7)
+        events = []
+        for i in range(st.n_shards):
+            st.backend.shard(i).event_hook = record_hook(events, tag=i)
+        for k, v in random_items(80, seed=21):
+            st.insert(k, v)
+            st.query(k)
+        return events
+
+    sim_events = build(lambda i: small_region(1 << 20))
+    raw_events = build(lambda i: RawBackend(1 << 20))
+    assert sim_events and sim_events == raw_events
+
+
+def test_event_hook_kinds_and_sizes():
+    # one write+persist = a "write", a line-sized "flush", and a "fence"
+    r = make_raw(1 << 12)
+    addr = r.alloc(64, align=64)
+    events = []
+    r.event_hook = record_hook(events)
+    r.write(addr, b"x" * 8)
+    r.persist(addr, 8)
+    kinds = [e[0] for e in events]
+    assert kinds == ["write", "flush", "fence"]
+    assert events[0][1:] == (addr, 8)
+    assert events[1][2] == r.line_size
+
+
+def test_event_hook_uninstall_restores_raw_fast_path():
+    r = make_raw(1 << 12)
+    addr = r.alloc(64, align=64)
+    assert r._slow is False
+    events = []
+    r.event_hook = record_hook(events)
+    assert r._slow is True
+    r.write_u64(addr, 1)
+    assert events
+    r.event_hook = None
+    n = len(events)
+    r.write_u64(addr, 2)
+    r.persist(addr, 8)
+    # no further deliveries, and the slow flag dropped back
+    assert len(events) == n
+    assert r._slow is False
+    assert r.event_hook is None
+
+
+def test_event_hook_uninstall_stops_deliveries_on_sim():
+    region = small_region()
+    addr = region.alloc(64, align=64)
+    events = []
+    region.event_hook = record_hook(events)
+    region.write_u64(addr, 1)
+    region.persist(addr, 8)
+    n = len(events)
+    assert n == 3
+    region.event_hook = None
+    region.write_u64(addr, 2)
+    region.persist(addr, 8)
+    assert len(events) == n

@@ -74,3 +74,46 @@ def test_as_dict_roundtrip():
     assert d["reads"] == 1
     assert d["flushes"] == 2
     assert set(d) >= {"reads", "writes", "cache_misses", "sim_time_ns"}
+
+
+def test_as_dict_counters_are_exact_ints():
+    # the contract fix: every event counter is an exact int, only
+    # sim_time_ns is a float
+    stats = MemStats(reads=3, writes=2, cache_misses=7, sim_time_ns=1.5)
+    d = stats.as_dict()
+    for name, value in d.items():
+        if name == "sim_time_ns":
+            assert isinstance(value, float)
+        else:
+            assert isinstance(value, int) and not isinstance(value, bool)
+
+
+def test_from_dict_inverts_as_dict():
+    stats = MemStats(reads=9, flushes=4, nvm_bytes_written=640, sim_time_ns=2.25)
+    rebuilt = MemStats.from_dict(stats.as_dict())
+    assert rebuilt == stats
+    # unknown keys ignored, missing default to zero
+    assert MemStats.from_dict({"reads": 2, "bogus": 5}).reads == 2
+
+
+def test_as_dict_roundtrip_through_snapshot_delta_merged():
+    # the satellite regression: dict round-trips commute with the
+    # snapshot/delta/merged algebra, exactly
+    a = MemStats(reads=10, writes=4, flushes=2, sim_time_ns=100.5)
+    earlier = a.snapshot()
+    a.reads, a.flushes, a.sim_time_ns = 17, 9, 250.75
+    delta = a.delta(earlier)
+    merged = delta.merged(earlier)
+    for stats in (earlier, delta, merged):
+        assert MemStats.from_dict(stats.as_dict()) == stats
+    assert MemStats.from_dict(delta.as_dict()).merged(
+        MemStats.from_dict(earlier.as_dict())
+    ) == merged
+
+
+def test_merged_all():
+    parts = [MemStats(reads=i, sim_time_ns=float(i)) for i in (1, 2, 3)]
+    total = MemStats.merged_all(parts)
+    assert total.reads == 6
+    assert total.sim_time_ns == 6.0
+    assert MemStats.merged_all([]) == MemStats()
