@@ -28,6 +28,7 @@ from repro.bench.experiments import (
     fig6,
     fig7,
     fig8,
+    mixed,
     negative,
     profile as profile_exp,
     sweep_lf,
@@ -46,6 +47,7 @@ EXPERIMENTS = {
     "ablations": ablations.run,
     "sweep": sweep_lf.run,
     "writes": writes.run,
+    "mixed": mixed.run,
     "negative": negative.run,
     "backends": backends.run,
     "engine": engine_exp.run,
@@ -156,8 +158,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "all":
         names = [
             "fig2", "fig5", "fig6", "fig7", "fig8", "table3",
-            "writes", "ablations", "sweep", "negative", "crashmatrix",
-            "profile", "backends", "engine",
+            "writes", "ablations", "sweep", "negative", "mixed",
+            "crashmatrix", "profile", "backends", "engine",
         ]
 
     jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1

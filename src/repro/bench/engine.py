@@ -33,12 +33,15 @@ from typing import Any, Callable, Sequence
 
 from repro.bench.cache import NO_CACHE_ENV, ResultCache
 from repro.bench.runner import (
+    MixedResult,
+    MixedSpec,
     NegativeQuerySpec,
     RecoverySpec,
     RunResult,
     RunSpec,
     UtilizationSpec,
     measure_negative_queries,
+    run_mixed_workload,
     run_recovery_spec,
     run_utilization_spec,
     run_workload,
@@ -48,6 +51,7 @@ from repro.bench.runner import (
 #: type -> (execute, encode result -> JSON, decode JSON -> result)
 SPEC_KINDS: dict[type, tuple[Callable, Callable, Callable]] = {
     RunSpec: (run_workload, lambda r: r.to_dict(), RunResult.from_dict),
+    MixedSpec: (run_mixed_workload, lambda r: r.to_dict(), MixedResult.from_dict),
     UtilizationSpec: (run_utilization_spec, lambda r: r, lambda p: p),
     RecoverySpec: (run_recovery_spec, lambda r: dict(r), lambda p: dict(p)),
     NegativeQuerySpec: (measure_negative_queries, lambda r: dict(r), lambda p: dict(p)),
@@ -198,6 +202,15 @@ class Engine:
             return head + list(pool.map(execute_spec, todo))
 
     def _collect_warnings(self, spec: Any, result: Any) -> None:
+        if isinstance(result, MixedResult):
+            if result.failed_ops:
+                self.warnings.append(
+                    f"{spec.scheme}/{spec.preset}/lf={spec.load_factor}: "
+                    f"{result.failed_ops}/{result.phase.attempted} mixed ops "
+                    "failed (inserts at capacity and their dependents) — "
+                    "percentiles cover all attempts, averages only successes"
+                )
+            return
         if not isinstance(result, RunResult):
             return
         shortfalls = result.shortfalls()

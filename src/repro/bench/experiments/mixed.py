@@ -1,0 +1,153 @@
+"""Mixed-workload experiment — YCSB-style op mixes with tail latency.
+
+The paper measures pure phases and reports averages; this experiment
+measures what serving mixed traffic actually feels like: for every
+(scheme, preset, load factor) cell it runs an interleaved op stream
+(:mod:`repro.bench.workload`) and reports **per-op simulated-latency
+percentiles** (p50/p95/p99/max) instead of a single mean.
+
+Grid: all five scheme families of the paper's comparison — group,
+linear±L, PFHT±L, path±L — plus level hashing, across the five YCSB
+core presets (A update-heavy, B read-mostly, C read-only, D read-latest
+with inserts, F read-modify-write) and the standard load factors. Cells
+are frozen :class:`~repro.bench.runner.MixedSpec` instances routed
+through the engine, so the grid deduplicates, caches and parallelises
+exactly like the figure benches.
+
+The report prints one percentile table per (preset, load factor) panel
+and an update-tail drill-down for the update-heavy preset; the
+structured payload carries every cell's full summary plus the
+reconciliation numbers (Σ per-op ns vs the phase ``MemStats`` delta —
+exactly equal, pinned by ``tests/test_mixed.py``).
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import Scale
+from repro.bench.experiments import ExperimentResult, attach_warnings
+from repro.bench.report import format_percentile_table, format_ratio_note
+from repro.bench.runner import MixedResult, MixedSpec
+from repro.bench.workload import PRESET_ORDER
+
+#: the five scheme families compared (paper grid + level hashing)
+MIXED_SCHEMES: tuple[str, ...] = (
+    "group",
+    "linear",
+    "linear-L",
+    "pfht",
+    "pfht-L",
+    "path",
+    "path-L",
+    "level",
+)
+
+#: load factors per scale: one panel at the tiny (CI smoke) scale,
+#: the paper's two standard points everywhere else
+QUICK_LOAD_FACTORS: tuple[float, ...] = (0.5,)
+FULL_LOAD_FACTORS: tuple[float, ...] = (0.5, 0.75)
+
+
+def load_factors(scale: Scale) -> tuple[float, ...]:
+    """The load-factor axis for ``scale``."""
+    return QUICK_LOAD_FACTORS if scale.name == "tiny" else FULL_LOAD_FACTORS
+
+
+def mixed_specs(
+    scale: Scale,
+    seed: int,
+    *,
+    schemes: tuple[str, ...] = MIXED_SCHEMES,
+    presets: tuple[str, ...] = PRESET_ORDER,
+) -> list[MixedSpec]:
+    """The full (scheme × preset × load factor) spec grid, frozen."""
+    return [
+        MixedSpec.from_scale(scheme, preset, lf, scale, seed=seed)
+        for preset in presets
+        for lf in load_factors(scale)
+        for scheme in schemes
+    ]
+
+
+def _drift(result: MixedResult) -> float:
+    """ns/op disagreement between Σ per-op deltas and the phase delta."""
+    ops = max(1, result.total.get("count", 0))
+    return (
+        abs(
+            result.extras.get("op_sim_ns", 0.0)
+            - result.extras.get("phase_sim_ns", 0.0)
+        )
+        / ops
+    )
+
+
+def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
+    """Run the mixed-workload grid at ``scale`` and render the
+    percentile tables."""
+    from repro.bench.engine import default_engine
+
+    engine = engine or default_engine()
+    specs = mixed_specs(scale, seed)
+    results = dict(zip(specs, engine.run(specs)))
+
+    sections: list[str] = []
+    data: dict[str, dict] = {}
+    max_drift = 0.0
+    for preset in PRESET_ORDER:
+        for lf in load_factors(scale):
+            rows = []
+            for scheme in MIXED_SCHEMES:
+                spec = MixedSpec.from_scale(scheme, preset, lf, scale, seed=seed)
+                result = results[spec]
+                rows.append((scheme, result.total))
+                cell = data.setdefault(preset, {}).setdefault(lf, {})
+                cell[scheme] = {
+                    "total": result.total,
+                    "per_kind": result.per_kind,
+                    "histogram": result.histogram,
+                    "failed_ops": result.failed_ops,
+                    "fill_count": result.fill_count,
+                    "capacity": result.capacity,
+                    "reconciliation": {
+                        "op_sim_ns": result.extras.get("op_sim_ns"),
+                        "phase_sim_ns": result.extras.get("phase_sim_ns"),
+                        "drift_ns_per_op": _drift(result),
+                    },
+                    "worst_op": result.extras.get("worst_op"),
+                }
+                max_drift = max(max_drift, _drift(result))
+            sections.append(
+                format_percentile_table(
+                    f"Mixed workload {preset}: per-op tail latency — "
+                    f"load factor {lf}",
+                    rows,
+                )
+            )
+
+    # drill-down: where the update tail lives on the update-heavy preset
+    drill_lf = load_factors(scale)[0]
+    rows = []
+    for scheme in MIXED_SCHEMES:
+        spec = MixedSpec.from_scale(scheme, "ycsb-a", drill_lf, scale, seed=seed)
+        summary = results[spec].per_kind.get("update")
+        if summary:
+            rows.append((scheme, summary))
+    if rows:
+        sections.append(
+            format_percentile_table(
+                f"ycsb-a update ops only — load factor {drill_lf}", rows
+            )
+        )
+    sections.append(
+        format_ratio_note(
+            "per-op deltas telescope over each phase: max reconciliation "
+            f"drift {max_drift:.3f} ns/op across {len(specs)} cells"
+        )
+    )
+
+    result = ExperimentResult(
+        name="mixed",
+        paper_ref="Mixed workloads (YCSB-style extension, not in the paper)",
+        data=data,
+        text="\n\n".join(sections),
+    )
+    return attach_warnings(result, engine)

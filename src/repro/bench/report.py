@@ -56,6 +56,26 @@ def format_histogram(
     return "\n".join(lines)
 
 
+#: column order for tail-latency tables (matches
+#: :meth:`~repro.bench.workload.LatencyRecorder.summary` keys)
+PERCENTILE_COLUMNS: tuple[str, ...] = ("p50", "p95", "p99", "max")
+
+
+def format_percentile_table(
+    title: str,
+    rows: Sequence[tuple[str, Mapping[str, float]]],
+    *,
+    unit: str = "simulated ns/op",
+) -> str:
+    """Render one tail-latency table: a row per scheme, the
+    :data:`PERCENTILE_COLUMNS` as columns. Rows are ``(label,
+    summary)`` where ``summary`` is a
+    :meth:`~repro.bench.workload.LatencyRecorder.summary` block."""
+    return format_table(
+        title, list(PERCENTILE_COLUMNS), rows, unit=unit, precision=0
+    )
+
+
 def format_ratio_note(note: str) -> str:
     """Footnote line under a table (e.g. the paper's headline ratios)."""
     return f"  -> {note}"

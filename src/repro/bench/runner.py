@@ -24,6 +24,13 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.bench.config import BuiltTable, Scale, build_table, make_trace
+from repro.bench.workload import (
+    OP_KINDS,
+    PRESETS,
+    LatencyRecorder,
+    OpMix,
+    generate_ops,
+)
 from repro.nvm import MemStats
 from repro.obs import MetricsRegistry, Tracer
 
@@ -151,6 +158,81 @@ class NegativeQuerySpec:
     @classmethod
     def from_dict(cls, data: dict) -> "NegativeQuerySpec":
         """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class MixedSpec:
+    """One mixed-workload (YCSB-style) measurement cell.
+
+    Executing it (:func:`run_mixed_workload`) fills the table to
+    ``load_factor``, then runs ``n_ops`` *interleaved* operations drawn
+    from the op mix — a named :data:`~repro.bench.workload.PRESETS`
+    entry, or an explicit :class:`~repro.bench.workload.OpMix` via
+    ``mix`` — recording each op's simulated-latency delta. Frozen and
+    JSON-round-trippable so the engine can dedupe, cache and fan it out
+    exactly like :class:`RunSpec`.
+    """
+
+    scheme: str
+    preset: str = "ycsb-a"
+    #: explicit mix; ``None`` resolves ``preset`` from the registry
+    mix: OpMix | None = None
+    trace: str = "randomnum"
+    load_factor: float = 0.5
+    total_cells: int = 1 << 14
+    group_size: int = 128
+    n_ops: int = 500
+    seed: int = 42
+    tech: str = "paper-nvm"
+    cache_ratio: float = 8.0
+    flush_invalidates: bool = True
+    backend: str = "sim"
+    #: record a span tree of the mixed phase (the result then carries
+    #: ``spans`` and Chrome ``trace_events`` blocks)
+    with_trace: bool = False
+
+    @classmethod
+    def from_scale(
+        cls, scheme: str, preset: str, load_factor: float, scale: Scale, **kw
+    ) -> "MixedSpec":
+        return cls(
+            scheme=scheme,
+            preset=preset,
+            load_factor=load_factor,
+            total_cells=scale.total_cells,
+            group_size=scale.group_size,
+            n_ops=scale.measure_ops,
+            cache_ratio=scale.cache_ratio,
+            **kw,
+        )
+
+    def resolved_mix(self) -> OpMix:
+        """The effective op mix (explicit ``mix`` wins over ``preset``)."""
+        if self.mix is not None:
+            return self.mix
+        try:
+            return PRESETS[self.preset]
+        except KeyError:
+            raise ValueError(
+                f"unknown preset {self.preset!r}; choose from "
+                f"{sorted(PRESETS)} or pass an explicit mix"
+            ) from None
+
+    def replace(self, **changes) -> "MixedSpec":
+        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-ready field dict (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MixedSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        data = dict(data)
+        if data.get("mix") is not None:
+            data["mix"] = OpMix.from_dict(data["mix"])
         return cls(**data)
 
 
@@ -430,6 +512,211 @@ def run_workload(spec: RunSpec) -> RunResult:
         result.spans = tracer.as_dict()
         result.trace_events = tracer.chrome_events()
     if tracer is not None or metrics is not None:
+        table.instrument(None, None)
+    return result
+
+
+@dataclass
+class MixedResult:
+    """One executed :class:`MixedSpec`: phase metrics plus latency
+    distributions.
+
+    ``total`` and ``per_kind`` are
+    :meth:`~repro.bench.workload.LatencyRecorder.summary` blocks
+    (count/sum/mean/p50/p95/p99/max, exact while the op count fits the
+    reservoir); ``histogram`` is the overall log2-bucket export.
+    ``extras['op_sim_ns']`` (the Σ of per-op deltas) reconciles with
+    ``extras['phase_sim_ns']`` (the phase ``MemStats`` delta) at 0 ns
+    drift — the per-op snapshots telescope over the phase."""
+
+    spec: MixedSpec
+    phase: OpMetrics
+    total: dict
+    per_kind: dict[str, dict]
+    histogram: dict
+    fill_count: int = 0
+    capacity: int = 0
+    fill_failures: int = 0
+    #: ops the table rejected (insert at capacity) or that targeted a
+    #: key a rejected insert never made live
+    failed_ops: int = 0
+    extras: dict = field(default_factory=dict)
+    #: aggregated span attribution (``None`` unless ``with_trace``)
+    spans: dict | None = None
+    #: Chrome ``trace_event`` records (``None`` unless ``with_trace``)
+    trace_events: list | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready nested dict (inverse of :meth:`from_dict`)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "phase": self.phase.to_dict(),
+            "total": dict(self.total),
+            "per_kind": {k: dict(v) for k, v in self.per_kind.items()},
+            "histogram": dict(self.histogram),
+            "fill_count": self.fill_count,
+            "capacity": self.capacity,
+            "fill_failures": self.fill_failures,
+            "failed_ops": self.failed_ops,
+            "extras": dict(self.extras),
+            "spans": self.spans,
+            "trace_events": self.trace_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MixedResult":
+        return cls(
+            spec=MixedSpec.from_dict(data["spec"]),
+            phase=OpMetrics.from_dict(data["phase"]),
+            total=dict(data["total"]),
+            per_kind={k: dict(v) for k, v in data["per_kind"].items()},
+            histogram=dict(data["histogram"]),
+            fill_count=data["fill_count"],
+            capacity=data["capacity"],
+            fill_failures=data["fill_failures"],
+            failed_ops=data["failed_ops"],
+            extras=dict(data.get("extras", {})),
+            spans=data.get("spans"),
+            trace_events=data.get("trace_events"),
+        )
+
+
+def run_mixed_workload(spec: MixedSpec) -> MixedResult:
+    """Execute one mixed-workload cell.
+
+    Fill to the load factor, generate the interleaved op stream
+    (:func:`~repro.bench.workload.generate_ops`), then execute it while
+    metering **every op individually**: the per-op cost is the
+    ``MemStats.sim_time_ns`` delta across the op, fed to an overall and
+    a per-kind :class:`~repro.bench.workload.LatencyRecorder`. The
+    driver self-verifies against a shadow model — queries must return
+    the value the stream last wrote, deletes must hit exactly the live
+    keys — so a scheme that corrupts state under interleaving fails the
+    cell rather than producing plausible numbers."""
+    mix = spec.resolved_mix()
+    trace = make_trace(spec.trace, seed=spec.seed)
+    built = build_table(
+        spec.scheme,
+        spec.total_cells,
+        trace.spec,
+        group_size=spec.group_size,
+        seed=spec.seed,
+        cache_ratio=spec.cache_ratio,
+        tech=spec.tech,
+        flush_invalidates=spec.flush_invalidates,
+        backend=spec.backend,
+    )
+    table, region = built.table, built.region
+    stream = trace.unique_items()
+    resident, fill_failures = fill_to_load_factor(built, stream, spec.load_factor)
+
+    tracer: Tracer | None = None
+    if spec.with_trace:
+        tracer = Tracer(region, max_events=20_000)
+        table.instrument(tracer, None)
+
+    ops = generate_ops(mix, spec.n_ops, len(resident), seed=spec.seed)
+
+    # Key universe: fill items first (ids 0..fill-1, insertion order),
+    # then fresh stream items in the order the stream's inserts mint
+    # their ids. ``live_value`` is the shadow model of what each live
+    # key currently maps to.
+    items: list[tuple[bytes, bytes]] = list(resident)
+    live_value: dict[int, bytes] = {
+        i: value for i, (_, value) in enumerate(resident)
+    }
+    value_size = table.spec.value_size
+    vrng = random.Random((spec.seed << 8) ^ 0xA11CE)
+
+    overall = LatencyRecorder()
+    per_kind = {kind: LatencyRecorder() for kind in OP_KINDS}
+    worst_kind = ""
+    failed_ops = 0
+    stats = region.stats
+    before = stats.snapshot()
+    last_ns = stats.sim_time_ns
+    op_sim_ns = 0.0
+    for index, op in enumerate(ops):
+        while op.key_id >= len(items):
+            items.append(next(stream))
+        key = items[op.key_id][0]
+        if tracer is not None:
+            tracer.push(op.kind)
+        if op.kind == "insert":
+            value = items[op.key_id][1]
+            if table.insert(key, value):
+                live_value[op.key_id] = value
+            else:
+                failed_ops += 1
+        elif op.kind == "query":
+            found = table.query(key)
+            expected = live_value.get(op.key_id)
+            assert found == expected, f"{spec.scheme}: mixed query mismatch"
+        elif op.kind == "update":
+            new_value = vrng.getrandbits(8 * value_size).to_bytes(
+                value_size, "little"
+            )
+            updated = table.update(key, new_value)
+            if op.key_id in live_value:
+                assert updated, f"{spec.scheme}: mixed update lost a live key"
+                live_value[op.key_id] = new_value
+            else:
+                assert not updated, f"{spec.scheme}: updated a dead key"
+                failed_ops += 1
+        else:
+            deleted = table.delete(key)
+            assert deleted == (op.key_id in live_value), (
+                f"{spec.scheme}: mixed delete disagrees with the model"
+            )
+            if deleted:
+                live_value.pop(op.key_id)
+            else:
+                failed_ops += 1
+        if tracer is not None:
+            tracer.pop()
+        now = stats.sim_time_ns
+        op_ns = now - last_ns
+        last_ns = now
+        op_sim_ns += op_ns
+        overall.record(op_ns, index)
+        per_kind[op.kind].record(op_ns, index)
+        if overall.worst[1] == index:
+            worst_kind = op.kind
+    delta = stats.delta(before)
+
+    succeeded = len(ops) - failed_ops
+    result = MixedResult(
+        spec=spec,
+        phase=OpMetrics.from_delta(
+            max(1, succeeded), delta, attempted=len(ops)
+        ),
+        total=overall.summary(),
+        per_kind={
+            kind: rec.summary()
+            for kind, rec in per_kind.items()
+            if rec.count
+        },
+        histogram=overall.hist.as_dict(),
+        fill_count=len(resident),
+        capacity=table.capacity,
+        fill_failures=fill_failures,
+        failed_ops=failed_ops,
+    )
+    result.extras["op_sim_ns"] = op_sim_ns
+    result.extras["phase_sim_ns"] = delta.sim_time_ns
+    result.extras["worst_op"] = {
+        "index": overall.worst[1],
+        "kind": worst_kind,
+        "sim_ns": overall.worst[0],
+    }
+    if tracer is not None:
+        tracer.detach()
+        summary = tracer.span_summary()
+        result.extras["span_sim_ns"] = sum(
+            v["sim_ns"] for p, v in summary.items() if "/" not in p
+        )
+        result.spans = tracer.as_dict()
+        result.trace_events = tracer.chrome_events()
         table.instrument(None, None)
     return result
 

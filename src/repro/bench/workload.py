@@ -1,0 +1,284 @@
+"""Mixed-workload model: YCSB-style op mixes with tail-latency recording.
+
+The paper's protocol (Section 4.2) measures pure phases — fill, then
+1000 inserts, then 1000 queries, then 1000 deletes — and reports only
+averages. Production traffic is neither pure nor average-shaped: ops of
+different kinds interleave, keys are skewed, and what matters is the
+tail. This module supplies the three ingredients the mixed-workload
+experiment needs:
+
+- :class:`OpMix` — a frozen ratio model over the four table operations
+  (insert / query / update / delete) plus a key-selection distribution
+  (uniform, Zipfian, or latest) over the resident keys, with the
+  standard YCSB core-workload presets (:data:`PRESETS`);
+- :func:`generate_ops` — a deterministic, seed-driven interleaved op
+  stream. The generator maintains a model of the live key set (inserts
+  append, deletes remove), so every query/update/delete targets a key
+  that is actually resident at that point in the stream;
+- :class:`LatencyRecorder` — a per-op simulated-latency sink combining
+  the observability layer's log2-bucket
+  :class:`~repro.obs.Histogram` (mergeable, bounded) with an exact
+  sample list for small runs, so p50/p95/p99/max are *exact* whenever
+  the op count fits the reservoir (every standard scale does) and
+  power-of-two bounds otherwise.
+
+Everything here is pure Python over plain data — no region access, no
+wall-clock — so op streams and percentiles are byte-identical across
+processes, worker counts and ``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from dataclasses import dataclass
+
+from repro.obs import Histogram
+
+#: the four table operations a mix can ratio over, in stream order
+OP_KINDS: tuple[str, ...] = ("insert", "query", "update", "delete")
+
+#: key-selection distributions over the resident key list
+KEY_DISTS: tuple[str, ...] = ("uniform", "zipfian", "latest")
+
+#: percentiles every latency summary reports
+PERCENTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """Operation ratios plus a key-selection distribution.
+
+    Ratios must be non-negative and sum to 1 (within float tolerance).
+    ``key_dist`` picks how query/update/delete targets are drawn from
+    the keys resident at that point of the stream:
+
+    - ``uniform`` — every resident key equally likely;
+    - ``zipfian`` — rank-Zipfian with parameter ``zipf_theta`` over
+      insertion order, oldest keys hottest (the classic YCSB skew,
+      minus the scrambling — determinism over dispersion);
+    - ``latest`` — the same Zipfian ranks over *reverse* insertion
+      order, newest keys hottest (YCSB-D's read-latest pattern).
+    """
+
+    insert: float = 0.0
+    query: float = 0.0
+    update: float = 0.0
+    delete: float = 0.0
+    key_dist: str = "uniform"
+    zipf_theta: float = 0.99
+
+    def __post_init__(self) -> None:
+        ratios = self.ratios
+        if any(r < 0 for r in ratios):
+            raise ValueError(f"op ratios must be non-negative: {ratios}")
+        if abs(sum(ratios) - 1.0) > 1e-9:
+            raise ValueError(f"op ratios must sum to 1: {ratios}")
+        if self.key_dist not in KEY_DISTS:
+            raise ValueError(
+                f"unknown key_dist {self.key_dist!r}; choose from {KEY_DISTS}"
+            )
+        if not 0.0 < self.zipf_theta < 1.0:
+            raise ValueError("zipf_theta must be in (0, 1)")
+
+    @property
+    def ratios(self) -> tuple[float, float, float, float]:
+        """(insert, query, update, delete) in :data:`OP_KINDS` order."""
+        return (self.insert, self.query, self.update, self.delete)
+
+    def to_dict(self) -> dict:
+        """JSON-ready field dict (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OpMix":
+        """Rebuild a mix from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+#: YCSB core-workload presets, expressed as ratios over *physical* table
+#: ops. F's read-modify-writes are decomposed (one RMW = one query plus
+#: one update of the same skew), hence the 2:1 physical ratio.
+PRESETS: dict[str, OpMix] = {
+    "ycsb-a": OpMix(query=0.5, update=0.5, key_dist="zipfian"),
+    "ycsb-b": OpMix(query=0.95, update=0.05, key_dist="zipfian"),
+    "ycsb-c": OpMix(query=1.0, key_dist="zipfian"),
+    "ycsb-d": OpMix(query=0.95, insert=0.05, key_dist="latest"),
+    "ycsb-f": OpMix(query=2 / 3, update=1 / 3, key_dist="zipfian"),
+}
+
+#: preset display order used by the mixed experiment's reports
+PRESET_ORDER: tuple[str, ...] = tuple(sorted(PRESETS))
+
+
+@dataclass(frozen=True)
+class MixedOp:
+    """One op of a generated stream: a kind plus a key id.
+
+    Key ids index an append-only key universe: ids below the resident
+    count name fill-phase items; higher ids name fresh keys in the
+    order the stream's inserts mint them."""
+
+    kind: str
+    key_id: int
+
+
+class ZipfianRanks:
+    """Rank sampler: ``P(rank r of n) ∝ 1/(r+1)^theta``.
+
+    Uses the Gray et al. quantile approximation ("Quickly generating
+    billion-record synthetic databases") with an incrementally
+    maintained zeta sum, so the live-set size may grow and shrink by
+    one between draws at O(1) cost. Fully deterministic: the same
+    ``u`` sequence yields the same ranks."""
+
+    def __init__(self, theta: float) -> None:
+        self.theta = theta
+        self._n = 0
+        self._zeta = 0.0
+
+    def _resize(self, n: int) -> None:
+        while self._n < n:
+            self._n += 1
+            self._zeta += self._n**-self.theta
+        while self._n > n:
+            self._zeta -= self._n**-self.theta
+            self._n -= 1
+
+    def rank(self, n: int, u: float) -> int:
+        """Rank in ``[0, n)`` for a uniform draw ``u`` in ``[0, 1)``."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if n == 1:
+            return 0
+        self._resize(n)
+        theta, zetan = self.theta, self._zeta
+        uz = u * zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**theta:
+            return 1
+        zeta2 = 1.0 + 0.5**theta
+        eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (1.0 - zeta2 / zetan)
+        rank = int(n * (eta * u - eta + 1.0) ** (1.0 / (1.0 - theta)))
+        return min(max(rank, 0), n - 1)
+
+
+def generate_ops(
+    mix: OpMix, n_ops: int, n_resident: int, seed: int
+) -> list[MixedOp]:
+    """Deterministically generate an interleaved op stream.
+
+    The stream starts from ``n_resident`` live keys (ids ``0 ..
+    n_resident-1``, the fill phase's items in insertion order); inserts
+    mint fresh ids sequentially from ``n_resident`` upward, deletes
+    retire ids, and every query/update/delete draws its target from the
+    keys live *at that point* via the mix's key distribution. A
+    key-consuming op drawn against an empty live set degrades to an
+    insert, so the stream never references a key it already deleted."""
+    rng = random.Random((seed << 4) ^ 0x3D1F)
+    cumulative: list[tuple[float, str]] = []
+    acc = 0.0
+    for kind, ratio in zip(OP_KINDS, mix.ratios):
+        if ratio <= 0.0:
+            continue
+        acc += ratio
+        cumulative.append((acc, kind))
+    zipf = ZipfianRanks(mix.zipf_theta)
+    live = list(range(n_resident))
+    next_id = n_resident
+    ops: list[MixedOp] = []
+    for _ in range(n_ops):
+        u = rng.random()
+        # the last bound is the ratio sum (1 up to float rounding), so a
+        # draw past it falls into the final non-zero kind
+        kind = cumulative[-1][1]
+        for bound, k in cumulative:
+            if u < bound:
+                kind = k
+                break
+        if kind != "insert" and not live:
+            kind = "insert"
+        if kind == "insert":
+            ops.append(MixedOp("insert", next_id))
+            live.append(next_id)
+            next_id += 1
+            continue
+        if mix.key_dist == "uniform":
+            index = rng.randrange(len(live))
+        else:
+            rank = zipf.rank(len(live), rng.random())
+            index = rank if mix.key_dist == "zipfian" else len(live) - 1 - rank
+        ops.append(MixedOp(kind, live[index]))
+        if kind == "delete":
+            live.pop(index)
+    return ops
+
+
+class LatencyRecorder:
+    """Per-op simulated-latency sink: log2 histogram + exact reservoir.
+
+    Every observation lands in a mergeable log2-bucket
+    :class:`~repro.obs.Histogram`; additionally, up to ``exact_cap``
+    raw values are kept so small runs (every standard scale) report
+    *exact* percentiles. Past the cap the raw list is dropped —
+    deterministically, never sampled — and percentiles fall back to the
+    histogram's power-of-two bucket bounds."""
+
+    def __init__(self, exact_cap: int = 1 << 14) -> None:
+        self.hist = Histogram()
+        self.exact_cap = exact_cap
+        self._samples: list[float] | None = []
+        #: (simulated ns, op index) of the worst observation
+        self.worst: tuple[float, int] = (0.0, -1)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self.hist.count
+
+    @property
+    def exact(self) -> bool:
+        """Whether percentiles are exact (reservoir still intact)."""
+        return self._samples is not None
+
+    def record(self, ns: float, index: int) -> None:
+        """Add one per-op observation (``index`` = stream position)."""
+        self.hist.record(ns)
+        if self._samples is not None:
+            self._samples.append(ns)
+            if len(self._samples) > self.exact_cap:
+                self._samples = None
+        if ns > self.worst[0] or self.worst[1] < 0:
+            self.worst = (ns, index)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile observation — exact while the reservoir
+        holds, else the histogram's bucket upper bound."""
+        if self._samples is None:
+            return self.hist.quantile(q)
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = max(0, math.ceil(q * len(ordered)) - 1)
+        return ordered[min(index, len(ordered) - 1)]
+
+    def summary(self) -> dict:
+        """JSON-ready percentile block: count, sum, mean, p50/p95/p99,
+        max, worst-op stream index, exactness flag."""
+        out: dict = {
+            "count": self.hist.count,
+            "sum": self.hist.total,
+            "mean": self.hist.mean,
+        }
+        for name, q in PERCENTILES:
+            out[name] = self.percentile(q)
+        out["max"] = self.hist.max or 0.0
+        out["worst_op_index"] = self.worst[1]
+        out["exact"] = self.exact
+        return out

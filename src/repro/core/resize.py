@@ -87,10 +87,14 @@ def insert_with_expansion(
 
     ``region_factory(n_cells, spec) -> MemoryBackend`` supplies a region for
     each expansion; by default the current region is reused (fine when
-    it was sized with headroom)."""
-    for _ in range(max_expansions + 1):
-        if table.insert(key, value):
-            return table, True
+    it was sized with headroom).
+
+    Every expansion is followed by an insert attempt, so at most
+    ``max_expansions`` tables are built and the last one built is always
+    offered the insert before ``(table, False)`` is returned."""
+    if table.insert(key, value):
+        return table, True
+    for _ in range(max_expansions):
         region = (
             region_factory(table.capacity * growth_factor, table.spec)
             if region_factory is not None
@@ -99,4 +103,6 @@ def insert_with_expansion(
         table = expand_group_table(
             table, region=region, growth_factor=growth_factor
         )
+        if table.insert(key, value):
+            return table, True
     return table, False

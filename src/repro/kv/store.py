@@ -62,6 +62,7 @@ class KVStore:
         *,
         n_index_cells: int = 1 << 12,
         group_size: int = 128,
+        max_key: int = 512,
         max_value: int = 4096,
         slab_bytes_per_class: int = 256 * 1024,
         seed: int = 0x5EED,
@@ -74,11 +75,16 @@ class KVStore:
             group_size=group_size,
             seed=seed,
         )
+        # The largest slab class must hold a full record (length prefix +
+        # max key + max value), so the key bound is part of the sizing —
+        # not an afterthought of whatever headroom the value bound left.
+        max_record = 2 + max_key + max_value
         self.slab = SlabAllocator(
             region,
-            max_chunk=max(64, 1 << (max_value + 32).bit_length()),
+            max_chunk=max(64, 1 << (max_record - 1).bit_length()),
             bytes_per_class=slab_bytes_per_class,
         )
+        self.max_key = max_key
         self.max_value = max_value
 
     @staticmethod
@@ -110,6 +116,10 @@ class KVStore:
         """Insert or overwrite; returns False when the index is full."""
         if not key:
             raise ValueError("key must be non-empty")
+        if len(key) > self.max_key:
+            raise ValueError(
+                f"key of {len(key)} bytes exceeds max_key={self.max_key}"
+            )
         if len(value) > self.max_value:
             raise ValueError(f"value exceeds max_value={self.max_value}")
         digest = self._digest(key)
@@ -123,7 +133,16 @@ class KVStore:
             _, old_addr, old_length = old
             self.index.delete(digest)
         if not self.index.insert(digest, _pack_locator(addr, len(record))):
+            # Undo so a failed put leaves the store observably unchanged:
+            # release the new chunk and, on an overwrite, restore the old
+            # locator — that re-insert succeeds by construction because
+            # the delete above just vacated a cell this digest hashes to.
             self.slab.free(addr, len(record))
+            if old is not None:
+                restored = self.index.insert(
+                    digest, _pack_locator(old_addr, old_length)
+                )
+                assert restored, "re-insert into the vacated cell failed"
             return False
         if old is not None:
             # free the superseded record only after the new one is

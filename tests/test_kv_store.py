@@ -82,6 +82,65 @@ def test_validation():
         store.put(b"k", b"v" * 10_000)
 
 
+def test_failed_overwrite_restores_old_value(monkeypatch):
+    """Regression: an overwrite whose index re-insert failed used to
+    return False with the old mapping already deleted — the key
+    vanished and the new chunk leaked."""
+    _, store = make()
+    assert store.put(b"key", b"old" * 10)
+    chunks = store.slab.allocated_chunks()
+    real_insert = store.index.insert
+    armed = [True]
+
+    def flaky_insert(digest, locator):
+        if armed[0]:  # index rejects the new locator (e.g. full group)
+            armed[0] = False
+            return False
+        return real_insert(digest, locator)
+
+    monkeypatch.setattr(store.index, "insert", flaky_insert)
+    assert not store.put(b"key", b"new" * 40)
+    assert store.get(b"key") == b"old" * 10
+    assert len(store) == 1
+    assert store.slab.allocated_chunks() == chunks
+
+
+def test_oversized_key_rejected_up_front():
+    """Regression: an over-bound key used to surface as a slab
+    MemoryError (or silently squeeze into the value headroom) instead
+    of a ValueError before any slab traffic."""
+    _, store = make()
+    with pytest.raises(ValueError, match="max_key"):
+        store.put(b"k" * (store.max_key + 1), b"v")
+    assert store.slab.allocated_chunks() == 0
+    assert len(store) == 0
+
+
+def test_max_key_boundary_roundtrip():
+    _, store = make()
+    key, value = b"K" * store.max_key, b"V" * store.max_value
+    assert store.put(key, value)
+    assert store.get(key) == value
+
+
+def test_max_chunk_covers_key_and_value_bounds():
+    """Regression: the largest slab class was sized from max_value
+    alone, so a maximal-key + maximal-value record could not be stored
+    at all."""
+    region = NVMRegion(8 << 20)
+    store = KVStore(
+        region,
+        n_index_cells=256,
+        group_size=16,
+        max_key=2048,
+        max_value=2048,
+        slab_bytes_per_class=64 * 1024,
+    )
+    key, value = b"K" * 2048, b"V" * 2048
+    assert store.put(key, value)
+    assert store.get(key) == value
+
+
 def test_crash_before_publish_loses_only_inflight():
     region, store = make()
     model = {f"k{i}".encode(): f"v{i}".encode() for i in range(20)}

@@ -105,6 +105,29 @@ def test_expansion_error_when_region_too_small():
         expand_group_table(table)
 
 
+def test_failed_insert_builds_exactly_max_expansions_tables(monkeypatch):
+    """Regression: the retry loop used to run ``max_expansions + 1``
+    iterations with the expansion *after* the failed insert, so it built
+    (and leaked) one final table that was never offered the key."""
+    _, table = build(n_cells=64, group_size=4)
+    cap0 = table.capacity
+    built = []
+
+    def factory(n_cells, spec):
+        built.append(n_cells)
+        return NVMRegion(8 << 20)
+
+    # an insert that always fails: the empty table expands without
+    # re-inserting anything, so only the retry loop's attempts count
+    monkeypatch.setattr(GroupHashTable, "insert", lambda self, k, v: False)
+    table, ok = insert_with_expansion(
+        table, b"k" * 8, b"v" * 8, region_factory=factory, max_expansions=3
+    )
+    assert not ok
+    assert built == [cap0 * 2, cap0 * 4, cap0 * 8]  # pre-fix: one more
+    assert table.capacity == cap0 * 8
+
+
 def test_expanded_table_survives_crash():
     region, table = build()
     for k, v in random_items(60, seed=5):
