@@ -7,12 +7,18 @@ enforces the campaign's contract:
   and minimal failing event prefix, then fails the job;
 - **coverage floor** — at least ``--min-points`` distinct crash
   boundaries across at least ``--min-schemes`` schemes, so a silently
-  shrunken workload cannot turn the gate green by testing nothing.
+  shrunken workload cannot turn the gate green by testing nothing;
+- **split coverage** — at least one cell must be a growing
+  (directory-of-segments) scheme with ``--min-splits`` segment splits
+  inside the recorded window and ``--min-split-points`` crash
+  boundaries landing mid-split, so the incremental-growth path stays
+  in the enumerated matrix.
 
 Usage::
 
     python scripts/ci_crashmatrix_gate.py report.json \
-        [--min-points 200] [--min-schemes 2]
+        [--min-points 200] [--min-schemes 2] \
+        [--min-splits 3] [--min-split-points 1]
 """
 
 from __future__ import annotations
@@ -28,6 +34,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("report")
     parser.add_argument("--min-points", type=int, default=200)
     parser.add_argument("--min-schemes", type=int, default=2)
+    parser.add_argument("--min-splits", type=int, default=3)
+    parser.add_argument("--min-split-points", type=int, default=1)
     args = parser.parse_args(argv)
 
     with open(args.report) as fh:
@@ -62,11 +70,25 @@ def main(argv: list[str] | None = None) -> int:
     if len(schemes) < args.min_schemes:
         failed = True
         print(f"FAIL: only schemes {sorted(schemes)} (need >= {args.min_schemes})")
+    split_cells = [
+        cell
+        for cell in matrix["cells"]
+        if cell.get("splits", 0) >= args.min_splits
+        and cell.get("split_points", 0) >= args.min_split_points
+    ]
+    if args.min_splits > 0 and not split_cells:
+        failed = True
+        print(
+            "FAIL: no split-in-progress cell "
+            f"(need >= 1 cell with >= {args.min_splits} in-window splits "
+            f"and >= {args.min_split_points} mid-split crash points)"
+        )
     if not failed:
+        split_points = sum(c.get("split_points", 0) for c in matrix["cells"])
         print(
             f"gate passed: {matrix['total_points']} points, "
             f"{matrix['total_replays']} replays, {len(schemes)} schemes, "
-            "0 violations"
+            f"{split_points} mid-split points, 0 violations"
         )
     return 1 if failed else 0
 

@@ -26,10 +26,13 @@ Quickstart::
 """
 
 from repro.core import (
+    DirectoryTable,
     ExpansionError,
     GroupHashTable,
     GroupLayout,
+    GrowableTable,
     ShardedTable,
+    SplitError,
     bulk_load,
     expand_group_table,
     insert_with_expansion,
@@ -83,7 +86,10 @@ __all__ = [
     "ChainedHashTable",
     "CrashReport",
     "CuckooHashTable",
+    "DirectoryTable",
     "ExpansionError",
+    "GrowableTable",
+    "SplitError",
     "KVStore",
     "LevelHashTable",
     "SlabAllocator",

@@ -28,6 +28,7 @@ from repro.bench.experiments import (
     fig6,
     fig7,
     fig8,
+    growth,
     mixed,
     negative,
     profile as profile_exp,
@@ -47,6 +48,7 @@ EXPERIMENTS = {
     "ablations": ablations.run,
     "sweep": sweep_lf.run,
     "writes": writes.run,
+    "growth": growth.run,
     "mixed": mixed.run,
     "negative": negative.run,
     "backends": backends.run,
@@ -159,7 +161,7 @@ def main(argv: list[str] | None = None) -> int:
         names = [
             "fig2", "fig5", "fig6", "fig7", "fig8", "table3",
             "writes", "ablations", "sweep", "negative", "mixed",
-            "crashmatrix", "profile", "backends", "engine",
+            "growth", "crashmatrix", "profile", "backends", "engine",
         ]
 
     jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1

@@ -33,6 +33,7 @@ from typing import Any, Callable, Sequence
 
 from repro.bench.cache import NO_CACHE_ENV, ResultCache
 from repro.bench.runner import (
+    GrowthSpec,
     MixedResult,
     MixedSpec,
     NegativeQuerySpec,
@@ -41,6 +42,7 @@ from repro.bench.runner import (
     RunSpec,
     UtilizationSpec,
     measure_negative_queries,
+    run_growth_workload,
     run_mixed_workload,
     run_recovery_spec,
     run_utilization_spec,
@@ -55,6 +57,7 @@ SPEC_KINDS: dict[type, tuple[Callable, Callable, Callable]] = {
     UtilizationSpec: (run_utilization_spec, lambda r: r, lambda p: p),
     RecoverySpec: (run_recovery_spec, lambda r: dict(r), lambda p: dict(p)),
     NegativeQuerySpec: (measure_negative_queries, lambda r: dict(r), lambda p: dict(p)),
+    GrowthSpec: (run_growth_workload, lambda r: dict(r), lambda p: dict(p)),
 }
 
 

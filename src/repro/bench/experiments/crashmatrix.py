@@ -17,9 +17,13 @@ exactly the regression discipline CI wants.
 
 The grid always includes the paper's scheme (group hashing), at least
 one logged baseline (undo-log rollback exercises a *different* recovery
-path), and a :class:`~repro.core.sharded.ShardedTable` cell whose crash
+path), a :class:`~repro.core.sharded.ShardedTable` cell whose crash
 domain is a single shard — proving shard independence, not just
-single-table recoverability.
+single-table recoverability — and a *grow* cell: a
+:class:`~repro.core.directory.DirectoryTable` under an insert-heavy
+workload that forces several segment splits inside the recorded window,
+so crash boundaries land mid-split and recovery must land on exactly
+the old or the new directory state.
 """
 
 from __future__ import annotations
@@ -31,11 +35,11 @@ from repro.bench.config import build_table
 from repro.bench.engine import default_engine, register_spec_kind
 from repro.bench.experiments import ExperimentResult
 from repro.bench.report import format_ratio_note, format_table
-from repro.core import ShardedTable, recover_table
-from repro.nvm.backend import MemoryBackend
+from repro.core import DirectoryTable, ShardedTable, recover_table
+from repro.nvm.backend import MemoryBackend, RawBackend
 from repro.nvm.crash import CrashSchedule
 from repro.nvm.crashpoint import Op, run_campaign
-from repro.tables.cell import ItemSpec
+from repro.tables.cell import CellCodec, ItemSpec
 
 #: schemes enumerated at the tiny (``--quick``) scale
 QUICK_SCHEMES: tuple[str, ...] = ("group", "linear-L")
@@ -67,6 +71,13 @@ class CrashMatrixSpec:
     subset_budget: int = 2
     #: 0 = monolithic table; >0 = sharded with shard 0 as crash domain
     n_shards: int = 0
+    #: True = directory-of-segments table (``DirectoryTable``) with an
+    #: insert-heavy workload that forces splits inside the recorded
+    #: window, so crash boundaries land mid-split
+    grow: bool = False
+    #: per-segment cells for ``grow`` cells (small, so splits are cheap
+    #: to enumerate and frequent enough to cross ≥3 in the window)
+    segment_cells: int = 8
     seed: int = 42
 
     def to_dict(self) -> dict:
@@ -82,6 +93,8 @@ class CrashMatrixSpec:
     def label(self) -> str:
         """Report row label, e.g. ``group``, ``linear-L``, ``group x4``."""
         name = self.scheme
+        if self.grow:
+            name += "-dir"
         if self.n_shards:
             name += f" x{self.n_shards}"
         if self.backend != "raw":
@@ -117,7 +130,14 @@ def build_workload(
     n_prefill = max(2, int(spec.prefill * spec.total_cells))
     prefill = {fresh_key(): fresh_value() for _ in range(n_prefill)}
     shadow = dict(prefill)
-    kinds = ("insert", "delete", "update", "insert")
+    # grow cells skew heavily towards inserts so segments fill and split
+    # *inside* the recorded window (the cell still crosses tombstone and
+    # in-place-overwrite commits once each)
+    kinds = (
+        ("insert",) * 6 + ("update", "delete")
+        if spec.grow
+        else ("insert", "delete", "update", "insert")
+    )
     ops: list[Op] = []
     for i in range(spec.n_ops):
         kind = kinds[i % len(kinds)]
@@ -148,6 +168,12 @@ class TableCampaignHarness:
     def crash_backend(self) -> MemoryBackend:
         """The table's whole backend is the crash domain."""
         return self.built.region
+
+    @property
+    def split_count(self) -> int | None:
+        """Segment splits so far (None for fixed-size schemes, which
+        tells :func:`record_trace` not to track split windows)."""
+        return getattr(self.table, "splits", None)
 
     def apply(self, op: Op) -> bool:
         """Route one workload op to the table."""
@@ -226,13 +252,43 @@ class ShardedCampaignHarness:
         return problems
 
 
+@dataclass
+class _GrownBuilt:
+    """Minimal ``build_table``-shaped carrier for the grow cell's
+    directory table (what :class:`TableCampaignHarness` consumes)."""
+
+    table: DirectoryTable
+    region: MemoryBackend
+
+
 def make_harness(
     spec: CrashMatrixSpec, prefill: dict[bytes, bytes]
 ) -> TableCampaignHarness | ShardedCampaignHarness:
     """Build one fresh, pre-filled harness for ``spec`` (the replay
     factory — every crash point reconstructs state through here)."""
     harness: TableCampaignHarness | ShardedCampaignHarness
-    if spec.n_shards:
+    if spec.grow:
+        if spec.scheme != "group" or spec.backend != "raw" or spec.n_shards:
+            raise ValueError(
+                "grow campaign cells use a monolithic DirectoryTable "
+                "(group segments) on a raw backend"
+            )
+        # headroom: splits carve new segments (and doubled directory
+        # arrays) out of the same never-reused bump allocator
+        codec = CellCodec(ItemSpec())
+        backend = RawBackend(
+            codec.array_bytes(spec.total_cells * 8) + (1 << 16),
+            name="growcell",
+        )
+        table = DirectoryTable(
+            backend,
+            spec.total_cells,
+            ItemSpec(),
+            segment_cells=spec.segment_cells,
+            seed=spec.seed,
+        )
+        harness = TableCampaignHarness(_GrownBuilt(table, backend))
+    elif spec.n_shards:
         if spec.scheme != "group" or spec.backend != "raw":
             raise ValueError(
                 "sharded campaign cells use the sharded default "
@@ -288,6 +344,8 @@ def run_crash_matrix_spec(spec: CrashMatrixSpec) -> dict:
         "ops": result.n_ops,
         "events": result.trace.n_events,
         "points": result.points,
+        "splits": result.trace.n_splits,
+        "split_points": result.split_points,
         "replays": result.replays,
         "violations": [v.to_dict() for v in result.violations],
         "min_failing_prefix": (
@@ -357,6 +415,23 @@ def campaign_specs(
                 seed=seed,
             )
         )
+    # the split-in-progress cell: tiny segments + insert-heavy mix so
+    # several splits happen inside the recorded window and the campaign
+    # enumerates crash boundaries landing mid-split
+    specs.append(
+        CrashMatrixSpec(
+            scheme="group",
+            backend="raw",
+            total_cells=32,
+            group_size=32,
+            n_ops=24 if quick else 40,
+            prefill=0.5,
+            subset_budget=subset_budget,
+            grow=True,
+            segment_cells=8,
+            seed=seed,
+        )
+    )
     return specs
 
 
@@ -376,9 +451,10 @@ def run(
     )
     cells = engine.run(specs)
 
-    columns = ["events", "points", "replays", "violations"]
+    columns = ["events", "points", "split_pts", "replays", "violations"]
     rows = []
     total_points = total_replays = total_violations = 0
+    total_splits = total_split_points = 0
     first_prefix: list | None = None
     for spec, cell in zip(specs, cells):
         rows.append((
@@ -386,6 +462,7 @@ def run(
             {
                 "events": cell["events"],
                 "points": cell["points"],
+                "split_pts": cell["split_points"],
                 "replays": cell["replays"],
                 "violations": len(cell["violations"]),
             },
@@ -393,6 +470,8 @@ def run(
         total_points += cell["points"]
         total_replays += cell["replays"]
         total_violations += len(cell["violations"])
+        total_splits += cell["splits"]
+        total_split_points += cell["split_points"]
         if first_prefix is None and cell["min_failing_prefix"] is not None:
             first_prefix = cell["min_failing_prefix"]
 
@@ -407,6 +486,11 @@ def run(
         f"{total_violations} oracle violation(s) "
         f"({'all schemes recover consistently' if not total_violations else 'FAIL'})"
     )
+    text += "\n" + format_ratio_note(
+        f"{total_splits} segment splits in-window, "
+        f"{total_split_points} crash points landed mid-split "
+        "(recovery must land on the old or the new directory state)"
+    )
     if first_prefix is not None:
         text += "\n" + format_ratio_note(
             f"minimal failing prefix: {len(first_prefix)} event(s) "
@@ -420,6 +504,8 @@ def run(
         "total_points": total_points,
         "total_replays": total_replays,
         "total_violations": total_violations,
+        "total_splits": total_splits,
+        "total_split_points": total_split_points,
         "ok": total_violations == 0,
     }
     return ExperimentResult(

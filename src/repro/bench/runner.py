@@ -25,14 +25,24 @@ from typing import Iterator
 
 from repro.bench.config import BuiltTable, Scale, build_table, make_trace
 from repro.bench.workload import (
+    GROWTH_MIX,
     OP_KINDS,
     PRESETS,
     LatencyRecorder,
     OpMix,
     generate_ops,
 )
-from repro.nvm import MemStats
+from repro.core import DirectoryTable, GroupHashTable, GrowableTable
+from repro.nvm import (
+    TECHNOLOGY_PRESETS,
+    CacheConfig,
+    MemStats,
+    NVMRegion,
+    RawBackend,
+    SimConfig,
+)
 from repro.obs import MetricsRegistry, Tracer
+from repro.tables.cell import CellCodec
 
 
 @dataclass(frozen=True)
@@ -828,3 +838,246 @@ def run_recovery_spec(spec: RecoverySpec) -> dict[str, float]:
         trace_name=spec.trace,
         seed=spec.seed,
     )
+
+
+@dataclass(frozen=True)
+class GrowthSpec:
+    """One incremental-growth cell (the ``growth`` experiment).
+
+    Executing it (:func:`run_growth_workload`) fills a
+    :class:`~repro.core.DirectoryTable` to ``fill_factor`` of its
+    initial capacity, then runs an insert-heavy stream
+    (:data:`~repro.bench.workload.GROWTH_MIX`) sized to push the table
+    past that capacity — so segment splits happen *inside* the measured
+    window and during-split latency is a first-class percentile. The
+    same op stream then runs against the legacy stop-the-world path
+    (:class:`~repro.core.GrowableTable` in ``rebuild`` mode) on an
+    identically sized/configured region, yielding the whole-table
+    rebuild pause the split path is judged against.
+    """
+
+    trace: str = "randomnum"
+    #: initial directory capacity in cells (segments × segment_cells)
+    initial_cells: int = 256
+    segment_cells: int = 32
+    #: group size of the legacy monolithic table (small enough to
+    #: divide every level the rebuilds produce)
+    group_size: int = 32
+    #: pre-fill fraction of ``initial_cells`` (inserted before measuring)
+    fill_factor: float = 0.6
+    n_ops: int = 200
+    seed: int = 42
+    tech: str = "paper-nvm"
+    cache_ratio: float = 8.0
+    backend: str = "sim"
+
+    @classmethod
+    def from_scale(cls, scale: Scale, **kw) -> "GrowthSpec":
+        # capacity ≈ the measured-op count: fill + the mix's inserts then
+        # overrun the initial table at any scale, guaranteeing splits
+        # (and at least one legacy rebuild) inside the window
+        initial = max(256, 1 << (scale.measure_ops - 1).bit_length())
+        kw.setdefault("initial_cells", initial)
+        kw.setdefault("segment_cells", max(16, initial // 8))
+        kw.setdefault("n_ops", scale.measure_ops)
+        kw.setdefault("cache_ratio", scale.cache_ratio)
+        return cls(**kw)
+
+    def replace(self, **changes) -> "GrowthSpec":
+        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-ready field dict (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GrowthSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+def _growth_region(item_spec, spec: GrowthSpec):
+    """A region for one growth run — sized with headroom for several
+    capacity doublings (splits and rebuilds both carve new tables out of
+    the same never-reused bump allocator), with the cache sized from the
+    *initial* table bytes so both runs see identical memory systems."""
+    codec = CellCodec(item_spec)
+    size = codec.array_bytes(spec.initial_cells * 16) + (1 << 17)
+    if spec.backend == "raw":
+        return RawBackend(size, name="growth")
+    if spec.backend != "sim":
+        raise ValueError(f"unknown backend {spec.backend!r}")
+    table_bytes = codec.array_bytes(spec.initial_cells)
+    config = SimConfig(
+        latency=TECHNOLOGY_PRESETS[spec.tech],
+        cache=CacheConfig(
+            size_bytes=max(4096, int(table_bytes / spec.cache_ratio)),
+            line_size=64,
+            associativity=8,
+        ),
+    )
+    return NVMRegion(size, config, name="growth")
+
+
+def _growth_fill(table, stream, target: int) -> list[tuple[bytes, bytes]]:
+    """Insert exactly the first ``target`` stream items (both growth
+    paths absorb a full table by growing, so no insert may fail — which
+    keeps the resident list, and therefore the generated op stream,
+    identical across the incremental and legacy runs)."""
+    resident = []
+    for _ in range(target):
+        key, value = next(stream)
+        if not table.insert(key, value):
+            raise RuntimeError("growth fill insert failed on a growing table")
+        resident.append((key, value))
+    return resident
+
+
+def _run_growth_stream(
+    table, region, ops, stream, resident, growth_count
+) -> tuple[LatencyRecorder, LatencyRecorder, LatencyRecorder, list[dict]]:
+    """Execute ``ops``, metering every op and classifying it by whether
+    ``growth_count()`` (splits, or legacy expansions) advanced during
+    it. Returns (overall, during-growth, steady) recorders plus the
+    growth ops' ``{"index", "kind", "sim_ns"}`` records."""
+    items: list[tuple[bytes, bytes]] = list(resident)
+    live_value: dict[int, bytes] = {
+        i: value for i, (_, value) in enumerate(resident)
+    }
+    overall = LatencyRecorder()
+    during = LatencyRecorder()
+    steady = LatencyRecorder()
+    growth_ops: list[dict] = []
+    stats = region.stats
+    last_ns = stats.sim_time_ns
+    for index, op in enumerate(ops):
+        while op.key_id >= len(items):
+            items.append(next(stream))
+        key = items[op.key_id][0]
+        before_growth = growth_count()
+        if op.kind == "insert":
+            value = items[op.key_id][1]
+            if not table.insert(key, value):
+                raise RuntimeError("growth-stream insert failed")
+            live_value[op.key_id] = value
+        elif op.kind == "query":
+            found = table.query(key)
+            expected = live_value.get(op.key_id)
+            assert found == expected, "growth-stream query mismatch"
+        else:  # GROWTH_MIX is insert/query only
+            raise ValueError(f"unexpected op kind {op.kind!r} in growth mix")
+        now = stats.sim_time_ns
+        op_ns = now - last_ns
+        last_ns = now
+        overall.record(op_ns, index)
+        if growth_count() > before_growth:
+            during.record(op_ns, index)
+            growth_ops.append({"index": index, "kind": op.kind, "sim_ns": op_ns})
+        else:
+            steady.record(op_ns, index)
+    return overall, during, steady, growth_ops
+
+
+def run_growth_workload(spec: GrowthSpec) -> dict:
+    """Execute one growth cell; returns a JSON-ready summary dict.
+
+    Two runs over the *same* deterministic op stream:
+
+    1. **incremental** — a :class:`~repro.core.DirectoryTable`: a full
+       segment splits alone, so growth cost is spread across the ops
+       that trigger splits;
+    2. **legacy** — :class:`~repro.core.GrowableTable` in ``rebuild``
+       mode: a full table is rebuilt wholesale, and the triggering op
+       absorbs the entire stop-the-world pause.
+
+    The headline comparison is the incremental path's during-split p99
+    against the legacy path's worst rebuild pause."""
+    trace = make_trace(spec.trace, seed=spec.seed)
+    target = int(spec.fill_factor * spec.initial_cells)
+    ops = generate_ops(GROWTH_MIX, spec.n_ops, target, seed=spec.seed)
+
+    # incremental: directory of segments, splits inside the window
+    region = _growth_region(trace.spec, spec)
+    table = DirectoryTable(
+        region,
+        spec.initial_cells,
+        trace.spec,
+        segment_cells=spec.segment_cells,
+        seed=spec.seed,
+    )
+    stream = trace.unique_items()
+    resident = _growth_fill(table, stream, target)
+    splits_before = table.splits
+    overall, during_split, steady, split_ops = _run_growth_stream(
+        table, region, ops, stream, resident, lambda: table.splits
+    )
+    splits = table.splits - splits_before
+
+    # legacy: same stream, same region sizing, stop-the-world rebuilds
+    legacy_region = _growth_region(trace.spec, spec)
+    legacy = GrowableTable(
+        GroupHashTable(
+            legacy_region,
+            spec.initial_cells,
+            trace.spec,
+            group_size=spec.group_size,
+            seed=spec.seed,
+        ),
+        mode="rebuild",
+    )
+    legacy_stream = trace.unique_items()
+    legacy_resident = _growth_fill(legacy, legacy_stream, target)
+    expansions_before = legacy.expansions
+    legacy_overall, legacy_during, legacy_steady, rebuild_ops = (
+        _run_growth_stream(
+            legacy,
+            legacy_region,
+            ops,
+            legacy_stream,
+            legacy_resident,
+            lambda: legacy.expansions,
+        )
+    )
+    expansions = legacy.expansions - expansions_before
+
+    if splits < 3:
+        raise RuntimeError(
+            f"growth cell too small: only {splits} in-window splits "
+            "(need >= 3; raise n_ops or shrink segment_cells)"
+        )
+    if not rebuild_ops:
+        raise RuntimeError(
+            "growth cell too small: the legacy run never rebuilt "
+            "(raise n_ops or shrink initial_cells)"
+        )
+    rebuild_pause_ns = max(op["sim_ns"] for op in rebuild_ops)
+    split_p99_ns = during_split.percentile(0.99)
+    return {
+        "initial_capacity": spec.initial_cells,
+        "fill_count": target,
+        "ops": len(ops),
+        "incremental": {
+            "final_capacity": table.capacity,
+            "splits": splits,
+            "doublings": table.doublings,
+            "segments": table.n_segments,
+            "overall": overall.summary(),
+            "during_split": during_split.summary(),
+            "steady": steady.summary(),
+            "split_ops": split_ops,
+            "abandoned_bytes": region.abandoned_bytes,
+        },
+        "legacy": {
+            "final_capacity": legacy.capacity,
+            "expansions": expansions,
+            "overall": legacy_overall.summary(),
+            "during_rebuild": legacy_during.summary(),
+            "steady": legacy_steady.summary(),
+            "rebuild_ops": rebuild_ops,
+            "abandoned_bytes": legacy_region.abandoned_bytes,
+        },
+        "split_p99_ns": split_p99_ns,
+        "rebuild_pause_ns": rebuild_pause_ns,
+        "split_p99_below_rebuild_pause": split_p99_ns < rebuild_pause_ns,
+    }

@@ -115,6 +115,14 @@ PRESETS: dict[str, OpMix] = {
 #: preset display order used by the mixed experiment's reports
 PRESET_ORDER: tuple[str, ...] = tuple(sorted(PRESETS))
 
+#: the growth experiment's insert-heavy mix: enough inserts to push a
+#: table past its initial capacity inside the measured window, with
+#: queries interleaved so lookup tail latency during a split is
+#: observed too. Deliberately *not* in :data:`PRESETS` — the preset
+#: registry feeds the mixed grid and its cache keys, and this mix is a
+#: different experiment's axis.
+GROWTH_MIX = OpMix(insert=0.7, query=0.3)
+
 
 @dataclass(frozen=True)
 class MixedOp:

@@ -211,6 +211,26 @@ class GroupHashTable(PersistentHashTable):
         return None
 
     # ------------------------------------------------------------------
+    # item enumeration (split support)
+
+    def scan_items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Yield every committed ``(key, value)`` pair through the costed
+        read path.
+
+        This is the enumeration hook a segment split needs: unlike
+        :meth:`items` (a cost-free peek for assertions), this walk
+        charges one header+kv read per cell, in address order — the same
+        sequential, prefetch-friendly pattern as the recovery scan — so
+        the price of rehashing a segment shows up in simulated time."""
+        spec, region = self.spec, self.region
+        probe_size = HEADER_SIZE + spec.item_size
+        for addr in self._iter_cell_addrs():
+            raw = region.read(addr, probe_size)
+            if raw[0] & OCCUPIED_BIT:
+                kv = raw[HEADER_SIZE:]
+                yield kv[: spec.key_size], kv[spec.key_size :]
+
+    # ------------------------------------------------------------------
     # Algorithm 3
 
     def delete(self, key: bytes) -> bool:

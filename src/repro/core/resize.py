@@ -1,29 +1,35 @@
-"""Table expansion — the paper's "capacity needs to be expanded" signal.
+"""Growth compatibility layer — rebuild-style expansion as a shim.
 
 Algorithm 1 returns FALSE when a key's home cell and its entire matched
 level-2 group are full; the paper says this "means that the capacity of
 the hash table needs to be expanded" but gives no expansion procedure.
-This extension supplies the obvious consistent one:
+The repository's answer is the incremental segment/directory layer
+(:mod:`repro.core.directory`): a full segment splits alone and the
+change publishes with one 8-byte atomic pointer swing, so growth costs
+O(segment), not O(table).
 
-1. build a fresh, larger group hash table (new level arrays, same
-   region or a new one);
-2. re-insert every committed item — each re-insert uses the normal
-   Algorithm 1 commit, so the new table is consistent at every point;
-3. only after the last item is committed in the new table, flip the
-   caller's reference.
+This module keeps the two *whole-table rebuild* entry points the repo
+grew up with — :func:`expand_group_table` and
+:func:`insert_with_expansion` — as thin shims over one audited wrapper,
+:class:`GrowableTable`. The rebuild path survives for two reasons:
 
-A crash mid-expansion is safe by construction: the old table is never
-mutated, so recovery simply resumes from it and the half-built new
-table is garbage (a production allocator would reclaim it; the bump
-allocator here leaks it, which tests assert is bounded by one failed
-expansion).
+- it is the only way to *migrate* (new region, new growth factor, new
+  group size), which a split never does;
+- it is the baseline the ``growth`` benchmark compares against — the
+  stop-the-world pause the directory layer exists to retire.
 
-``insert_with_expansion`` packages the retry loop the paper implies:
-insert, and on a FALSE return expand by ``growth_factor`` and retry.
+Rebuild consistency is unchanged: the old table is never mutated, every
+re-insert into the new table uses the normal Algorithm 1 commit, and
+only after the last item commits does the wrapper flip its reference. A
+crash mid-expansion resumes from the old table; the half-built new one
+is garbage, now *accounted* garbage — the bump allocator cannot reclaim
+it, so its bytes are recorded in ``region.abandoned_bytes`` (bounded by
+one failed expansion, which ``tests/test_resize.py`` asserts).
 """
 
 from __future__ import annotations
 
+from repro.core.directory import DirectoryTable
 from repro.core.group_hash import GroupHashTable
 from repro.nvm.backend import MemoryBackend
 
@@ -40,17 +46,20 @@ def expand_group_table(
     group_size: int | None = None,
 ) -> GroupHashTable:
     """Return a new table ``growth_factor``× larger holding every item
-    of ``table``.
+    of ``table`` (the stop-the-world rebuild).
 
     The new table lives in ``region`` (default: the same region, after
     the old table's allocations). The old table remains valid and
-    untouched — the caller owns the switch-over.
+    untouched — the caller owns the switch-over. On failure the
+    half-built table's bytes are recorded in the target region's
+    ``abandoned_bytes`` before :class:`ExpansionError` is raised.
     """
     if growth_factor < 2:
         raise ValueError("growth_factor must be at least 2")
     target_region = region or table.region
     new_cells = table.capacity * growth_factor
     group_size = group_size or table.group_size
+    alloc_before = target_region.bytes_allocated
     try:
         new_table = GroupHashTable(
             target_region,
@@ -61,6 +70,9 @@ def expand_group_table(
             seed=table.family.seed,
         )
     except MemoryError as exc:
+        # a partial allocation (e.g. info block without level arrays) is
+        # already unreachable garbage — account for it
+        target_region.mark_abandoned(target_region.bytes_allocated - alloc_before)
         raise ExpansionError(
             f"region cannot hold a {new_cells}-cell table: {exc}"
         ) from exc
@@ -68,10 +80,141 @@ def expand_group_table(
         if not new_table.insert(key, value):
             # astronomically unlikely (same keys, double the space), but
             # never leave a half-populated table as the apparent result
+            target_region.mark_abandoned(
+                target_region.bytes_allocated - alloc_before
+            )
             raise ExpansionError(
                 f"re-insert failed at load factor {new_table.load_factor:.3f}"
             )
     return new_table
+
+
+class GrowableTable:
+    """The single audited flip point for table growth.
+
+    Callers that outlive a resize (the KV store's index, the bench
+    runner's handle) used to rebind ``table = expand_group_table(table)``
+    by convention at each site; this wrapper owns the reference instead,
+    so the flip happens in exactly one reviewed place — :meth:`insert`.
+
+    Two modes:
+
+    - ``"incremental"`` (default): the table is adopted into a
+      :class:`~repro.core.directory.DirectoryTable` and growth happens
+      by segment splits — bounded pauses, items never move except the
+      split's own rehash. ``insert`` can only return False under
+      pathological skew, never for capacity.
+    - ``"rebuild"``: the legacy stop-the-world expansion, kept for
+      migration and as the benchmark baseline. Each failed insert
+      triggers up to ``max_expansions`` full rebuilds (each one counted
+      in :attr:`expansions`), flipping :attr:`table` after each.
+    """
+
+    def __init__(
+        self,
+        table: GroupHashTable | DirectoryTable,
+        *,
+        mode: str = "incremental",
+        region_factory=None,
+        growth_factor: int = 2,
+        max_expansions: int = 4,
+        max_split_attempts: int = 8,
+    ) -> None:
+        if mode not in ("incremental", "rebuild"):
+            raise ValueError(f"unknown growth mode {mode!r}")
+        self.mode = mode
+        self.region_factory = region_factory
+        self.growth_factor = growth_factor
+        self.max_expansions = max_expansions
+        #: rebuild-mode flip count (incremental growth counts splits on
+        #: the directory instead)
+        self.expansions = 0
+        if mode == "incremental" and isinstance(table, GroupHashTable):
+            table = DirectoryTable.adopt(
+                table, max_split_attempts=max_split_attempts
+            )
+        self.table = table
+
+    def insert(self, key: bytes, value: bytes) -> bool:
+        """Insert, growing as needed; the only place :attr:`table` flips."""
+        if self.table.insert(key, value):
+            return True
+        if self.mode == "incremental":
+            # the directory already split and retried internally
+            return False
+        for _ in range(self.max_expansions):
+            region = (
+                self.region_factory(
+                    self.table.capacity * self.growth_factor, self.table.spec
+                )
+                if self.region_factory is not None
+                else None
+            )
+            self.table = expand_group_table(
+                self.table, region=region, growth_factor=self.growth_factor
+            )
+            self.expansions += 1
+            if self.table.insert(key, value):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # delegated single-table surface
+
+    @property
+    def region(self) -> MemoryBackend:
+        """The current table's backend (changes on a rebuild flip)."""
+        return self.table.region
+
+    def query(self, key: bytes) -> bytes | None:
+        """Return the value stored for ``key``, or ``None``."""
+        return self.table.query(key)
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        return self.table.delete(key)
+
+    def update(self, key: bytes, value: bytes) -> bool:
+        """In-place value update."""
+        return self.table.update(key, value)
+
+    @property
+    def count(self) -> int:
+        """Occupied cells."""
+        return self.table.count
+
+    @property
+    def capacity(self) -> int:
+        """Total cells."""
+        return self.table.capacity
+
+    @property
+    def load_factor(self) -> float:
+        """count / capacity."""
+        return self.table.load_factor
+
+    def items(self):
+        """Yield all stored pairs (cost-free inventory)."""
+        return self.table.items()
+
+    def check_count(self) -> bool:
+        """Whether the persistent count matches occupancy."""
+        return self.table.check_count()
+
+    def instrument(self, tracer=None, metrics=None) -> None:
+        """Attach observability sinks to the wrapped table."""
+        self.table.instrument(tracer, metrics)
+
+    def reattach(self) -> None:
+        """Reload volatile mirrors after a simulated crash."""
+        self.table.reattach()
+
+    def recover(self) -> None:
+        """Run the wrapped table's post-crash recovery."""
+        self.table.recover()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GrowableTable(mode={self.mode!r}, table={self.table!r})"
 
 
 def insert_with_expansion(
@@ -83,26 +226,27 @@ def insert_with_expansion(
     growth_factor: int = 2,
     max_expansions: int = 4,
 ) -> tuple[GroupHashTable, bool]:
-    """Insert, expanding on failure; returns ``(table, inserted)``.
+    """Insert, rebuilding on failure; returns ``(table, inserted)``.
 
-    ``region_factory(n_cells, spec) -> MemoryBackend`` supplies a region for
-    each expansion; by default the current region is reused (fine when
-    it was sized with headroom).
+    Compatibility shim over :class:`GrowableTable` in ``"rebuild"`` mode
+    — the caller still rebinds the returned table, which is exactly the
+    convention the wrapper exists to retire. New code should hold a
+    ``GrowableTable`` (or a :class:`~repro.core.directory.DirectoryTable`
+    directly) instead.
+
+    ``region_factory(n_cells, spec) -> MemoryBackend`` supplies a region
+    for each expansion; by default the current region is reused (fine
+    when it was sized with headroom).
 
     Every expansion is followed by an insert attempt, so at most
     ``max_expansions`` tables are built and the last one built is always
     offered the insert before ``(table, False)`` is returned."""
-    if table.insert(key, value):
-        return table, True
-    for _ in range(max_expansions):
-        region = (
-            region_factory(table.capacity * growth_factor, table.spec)
-            if region_factory is not None
-            else None
-        )
-        table = expand_group_table(
-            table, region=region, growth_factor=growth_factor
-        )
-        if table.insert(key, value):
-            return table, True
-    return table, False
+    growable = GrowableTable(
+        table,
+        mode="rebuild",
+        region_factory=region_factory,
+        growth_factor=growth_factor,
+        max_expansions=max_expansions,
+    )
+    ok = growable.insert(key, value)
+    return growable.table, ok

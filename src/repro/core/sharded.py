@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator
 
+from repro.core.directory import DirectoryTable
 from repro.core.group_hash import GroupHashTable
 from repro.hashes import HashFamily
 from repro.nvm.backend import MemoryBackend, RawBackend, ShardedBackend
@@ -53,11 +54,15 @@ def _default_group_size(n_cells_per_shard: int) -> int:
 
 
 def _default_backend_factory(
-    n_cells_per_shard: int, spec: ItemSpec
+    n_cells_per_shard: int, spec: ItemSpec, *, growth_headroom: int = 1
 ) -> Callable[[int], MemoryBackend]:
-    """Per-shard :class:`RawBackend` sized like the bench regions."""
+    """Per-shard :class:`RawBackend` sized like the bench regions;
+    ``growth_headroom`` multiplies the table-array budget so growable
+    shards have room for split segments and directory doublings."""
     codec = CellCodec(spec)
-    size = int(codec.array_bytes(n_cells_per_shard) * 1.25) + (1 << 16)
+    size = int(codec.array_bytes(n_cells_per_shard) * 1.25) * growth_headroom + (
+        1 << 16
+    )
 
     def factory(shard: int) -> MemoryBackend:
         return RawBackend(size, name=f"shard{shard}")
@@ -87,6 +92,8 @@ class ShardedTable:
             [MemoryBackend, int, ItemSpec, int], PersistentHashTable
         ]
         | None = None,
+        growable: bool = False,
+        segment_cells: int | None = None,
     ) -> None:
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
@@ -95,13 +102,35 @@ class ShardedTable:
         self.spec = spec or ItemSpec()
         self.n_shards = n_shards
         self.seed = seed
+        self.growable = growable
         # equal shards, rounded up to even so two-level schemes fit
         per_shard = -(-n_cells // n_shards)
         per_shard += per_shard % 2
         self.n_cells_per_shard = per_shard
         if backend_factory is None:
-            backend_factory = _default_backend_factory(per_shard, self.spec)
-        if table_factory is None:
+            backend_factory = _default_backend_factory(
+                per_shard,
+                self.spec,
+                # growable shards split segments out of the same backend:
+                # leave room for several capacity doublings plus the
+                # retired directory arrays they strand
+                growth_headroom=8 if growable else 1,
+            )
+        if table_factory is None and growable:
+            seg_cells = segment_cells or min(512, per_shard)
+
+            def table_factory(
+                backend: MemoryBackend, cells: int, spec: ItemSpec, table_seed: int
+            ) -> DirectoryTable:
+                return DirectoryTable(
+                    backend,
+                    cells,
+                    spec,
+                    segment_cells=seg_cells,
+                    seed=table_seed,
+                )
+
+        elif table_factory is None:
             group_size = _default_group_size(per_shard)
 
             def table_factory(
@@ -136,7 +165,9 @@ class ShardedTable:
     # the single-table surface, routed
 
     def insert(self, key: bytes, value: bytes) -> bool:
-        """Insert into the key's shard; False when that shard is full."""
+        """Insert into the key's shard; False when that shard is full.
+        Growable shards (``growable=True``) split a full segment and
+        retry instead, so False means pathological skew, not capacity."""
         return self.table_for(key).insert(key, value)
 
     def query(self, key: bytes) -> bytes | None:
@@ -211,6 +242,12 @@ class ShardedTable:
     def shard_counts(self) -> list[int]:
         """Per-shard item counts (balance diagnostic)."""
         return [t.count for t in self.tables]
+
+    @property
+    def splits(self) -> int:
+        """Total segment splits across growable shards (0 when the
+        shards are fixed-size tables)."""
+        return sum(getattr(t, "splits", 0) for t in self.tables)
 
     # ------------------------------------------------------------------
     # independent crash / recovery

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import hashlib
 
-from repro.core import GroupHashTable
+from repro.core import DirectoryTable, GroupHashTable
 from repro.kv.slab import SlabAllocator
 from repro.nvm.backend import MemoryBackend
 from repro.tables.cell import ItemSpec
@@ -66,15 +66,32 @@ class KVStore:
         max_value: int = 4096,
         slab_bytes_per_class: int = 256 * 1024,
         seed: int = 0x5EED,
+        growable: bool = False,
+        segment_cells: int = 512,
     ) -> None:
         self.region = region
-        self.index = GroupHashTable(
-            region,
-            n_index_cells,
-            ItemSpec(key_size=_DIGEST_SIZE, value_size=8),
-            group_size=group_size,
-            seed=seed,
-        )
+        spec = ItemSpec(key_size=_DIGEST_SIZE, value_size=8)
+        if growable:
+            # directory of group-hash segments: a full index splits one
+            # segment instead of failing the put — size the region with
+            # headroom, since splits allocate new segments from it. The
+            # per-segment group size is auto-derived (the monolithic
+            # default need not divide a segment's level).
+            self.index = DirectoryTable(
+                region,
+                n_index_cells,
+                spec,
+                segment_cells=segment_cells,
+                seed=seed,
+            )
+        else:
+            self.index = GroupHashTable(
+                region,
+                n_index_cells,
+                spec,
+                group_size=group_size,
+                seed=seed,
+            )
         # The largest slab class must hold a full record (length prefix +
         # max key + max value), so the key bound is part of the sizing —
         # not an afterthought of whatever headroom the value bound left.

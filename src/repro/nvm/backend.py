@@ -93,6 +93,18 @@ class MemoryBackend(Protocol):
         """High-water mark of the bump allocator."""
         ...
 
+    @property
+    def abandoned_bytes(self) -> int:
+        """Bytes allocated but no longer reachable from any live
+        structure (the bump allocator never reuses space, so growth
+        machinery reports its garbage here instead of leaking silently)."""
+        ...
+
+    def mark_abandoned(self, nbytes: int) -> None:
+        """Record ``nbytes`` of allocated space as permanently
+        unreachable."""
+        ...
+
     # -- data path -----------------------------------------------------
 
     def read(self, addr: int, size: int) -> bytes:
@@ -238,6 +250,9 @@ class RawBackend:
         self.stats = MemStats()
         self._alloc_cursor = 0
         self.allocations: list[Allocation] = []
+        #: bytes allocated but no longer reachable (see
+        #: :meth:`mark_abandoned`); volatile bookkeeping
+        self.abandoned_bytes = 0
         self._crash_countdown: int | None = None
         self._hook: Callable[[str, int, int], None] | None = None
         # Hot-path gate: True only while an armed crash or an event hook
@@ -289,6 +304,13 @@ class RawBackend:
     def bytes_allocated(self) -> int:
         """High-water mark of the bump allocator."""
         return self._alloc_cursor
+
+    def mark_abandoned(self, nbytes: int) -> None:
+        """Record ``nbytes`` of allocated space as permanently
+        unreachable (same accounting as the simulator)."""
+        if nbytes < 0:
+            raise ValueError("abandoned byte count must be non-negative")
+        self.abandoned_bytes += nbytes
 
     # ------------------------------------------------------------------
     # crash arming (same countdown semantics as the simulator)
@@ -674,6 +696,11 @@ class ShardedBackend:
     def bytes_allocated(self) -> int:
         """Total allocator high-water mark across shards."""
         return sum(s.bytes_allocated for s in self.shards)
+
+    @property
+    def abandoned_bytes(self) -> int:
+        """Total unreachable (abandoned) bytes across shards."""
+        return sum(s.abandoned_bytes for s in self.shards)
 
     @property
     def stats(self) -> MemStats:

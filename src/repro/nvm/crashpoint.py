@@ -80,11 +80,26 @@ class WorkloadTrace:
     events: list[PersistEvent]
     #: ``op_end_events[i]`` = events executed when op ``i`` completed
     op_end_events: list[int]
+    #: event windows ``(start, end]`` of ops during which the harness
+    #: performed at least one segment split (directory growth) — empty
+    #: for fixed-size schemes. A crash boundary ``k`` with
+    #: ``start < k <= end`` lands *while a split is in progress*.
+    split_windows: list[tuple[int, int]] = field(default_factory=list)
 
     @property
     def n_events(self) -> int:
         """Total persistence events in the measured window."""
         return len(self.events)
+
+    @property
+    def n_splits(self) -> int:
+        """Number of recorded split-carrying ops."""
+        return len(self.split_windows)
+
+    def in_split_window(self, event_index: int) -> bool:
+        """Whether crash boundary ``event_index`` falls inside an op
+        that was performing a segment split."""
+        return any(s < event_index <= e for s, e in self.split_windows)
 
     def completed_ops(self, executed_events: int) -> int:
         """Number of ops fully applied after ``executed_events`` events."""
@@ -149,6 +164,11 @@ class CrashHarness(Protocol):
         """Structural problems after recovery (empty when sound)."""
         ...  # pragma: no cover - protocol
 
+    # Optional: harnesses over growable (directory) schemes may expose a
+    # ``split_count`` int property; :func:`record_trace` samples it
+    # around every op to mark split-in-progress event windows on the
+    # trace. Fixed-size harnesses simply omit it.
+
 
 @dataclass(frozen=True)
 class Violation:
@@ -186,6 +206,9 @@ class CampaignResult:
     n_ops: int
     #: crash boundaries enumerated (one per event, plus completion)
     points: int = 0
+    #: enumerated boundaries that landed inside a split-in-progress
+    #: window (0 for fixed-size schemes)
+    split_points: int = 0
     #: (boundary, schedule) replays actually executed
     replays: int = 0
     violations: list[Violation] = field(default_factory=list)
@@ -220,17 +243,29 @@ def record_trace(harness: CrashHarness, ops: Sequence[Op]) -> WorkloadTrace:
 
     backend.event_hook = hook
     op_end_events: list[int] = []
+    split_windows: list[tuple[int, int]] = []
+    # growable harnesses expose a split counter; sampling it around each
+    # op marks the event windows where a split was in progress
+    tracks_splits = getattr(harness, "split_count", None) is not None
     try:
         for i, op in enumerate(ops):
+            start = len(events)
+            splits_before = harness.split_count if tracks_splits else 0
             if not harness.apply(op):
                 raise RuntimeError(
                     f"campaign op {i} ({op.kind} {op.key!r}) did not apply; "
                     "choose a workload whose every op succeeds"
                 )
             op_end_events.append(len(events))
+            if tracks_splits and harness.split_count > splits_before:
+                split_windows.append((start, len(events)))
     finally:
         backend.event_hook = None
-    return WorkloadTrace(events=events, op_end_events=op_end_events)
+    return WorkloadTrace(
+        events=events,
+        op_end_events=op_end_events,
+        split_windows=split_windows,
+    )
 
 
 def shadow_states(
@@ -424,6 +459,8 @@ def run_campaign(
         if max_points is not None and result.points >= max_points:
             break
         result.points += 1
+        if trace.in_split_window(event_index):
+            result.split_points += 1
         # first replay discovers the boundary's dirty words (drop-all)
         harness, inflight, dirty = _replay(
             factory, ops, event_index, WordSubsetSchedule(frozenset())

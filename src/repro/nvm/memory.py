@@ -112,6 +112,7 @@ class NVMRegion:
         "_alloc_cursor",
         "allocations",
         "_crash_countdown",
+        "abandoned_bytes",
         "wear",
         "event_hook",
         "_prev_line",
@@ -139,6 +140,13 @@ class NVMRegion:
         self._alloc_cursor = 0
         self.allocations: list[Allocation] = []
         self._crash_countdown: int | None = None
+        #: bytes allocated but no longer reachable from any live structure
+        #: (half-built expansion tables, orphaned split segments, retired
+        #: directory arrays). The bump allocator never reuses space, so
+        #: leaks are permanent — this counter makes them auditable instead
+        #: of silent. Volatile bookkeeping: it does not survive a real
+        #: reboot, but within one process it bounds the waste.
+        self.abandoned_bytes = 0
         self.wear: WearMap | None = (
             WearMap(size, self._line) if self.config.track_wear else None
         )
@@ -190,6 +198,14 @@ class NVMRegion:
     def bytes_allocated(self) -> int:
         """High-water mark of the bump allocator."""
         return self._alloc_cursor
+
+    def mark_abandoned(self, nbytes: int) -> None:
+        """Record ``nbytes`` of allocated space as permanently
+        unreachable (e.g. a half-built expansion table after a failed
+        rebuild, or a split segment orphaned by a crash)."""
+        if nbytes < 0:
+            raise ValueError("abandoned byte count must be non-negative")
+        self.abandoned_bytes += nbytes
 
     @property
     def line_size(self) -> int:

@@ -5,13 +5,16 @@ import pytest
 from tests.conftest import random_items, small_region
 
 from repro import (
+    DirectoryTable,
     ExpansionError,
     GroupHashTable,
+    GrowableTable,
     ItemSpec,
     NVMRegion,
     expand_group_table,
     insert_with_expansion,
 )
+from repro.tables.cell import CellCodec
 
 
 def build(n_cells=128, group_size=8):
@@ -126,6 +129,66 @@ def test_failed_insert_builds_exactly_max_expansions_tables(monkeypatch):
     assert not ok
     assert built == [cap0 * 2, cap0 * 4, cap0 * 8]  # pre-fix: one more
     assert table.capacity == cap0 * 8
+
+
+def test_failed_expansion_abandons_at_most_one_doubled_table():
+    """Leak accounting: a failed in-region expansion strands at most one
+    doubled table's footprint, and the region reports exactly what the
+    abandoned construction had allocated."""
+    region = NVMRegion(64 * 1024)
+    table = GroupHashTable(region, 1024, ItemSpec(), group_size=32)
+    assert region.abandoned_bytes == 0
+    allocated_before = region.bytes_allocated
+    with pytest.raises(ExpansionError):
+        expand_group_table(table)
+    stranded = region.bytes_allocated - allocated_before
+    assert region.abandoned_bytes == stranded
+    assert 0 < region.abandoned_bytes
+    # the one-failed-expansion bound: info block + the doubled arrays
+    codec = CellCodec(table.spec)
+    assert region.abandoned_bytes <= 64 + codec.array_bytes(2 * table.capacity)
+
+
+def test_growable_rebuild_mode_expands_and_counts():
+    _, table = build(n_cells=64, group_size=4)
+    growable = GrowableTable(
+        table,
+        mode="rebuild",
+        region_factory=lambda cells, spec: NVMRegion(8 << 20),
+    )
+    model = {}
+    for k, v in random_items(120, seed=21):
+        assert growable.insert(k, v)
+        model[k] = v
+    assert growable.expansions >= 1
+    assert growable.capacity > 64
+    assert dict(growable.items()) == model
+    assert growable.count == len(model)
+    assert growable.check_count()
+
+
+def test_growable_incremental_mode_adopts_a_directory():
+    """The default mode retires the stop-the-world rebuild: the wrapped
+    table becomes a directory whose full segments split in place."""
+    region = small_region()
+    table = GroupHashTable(region, 64, ItemSpec(), group_size=8)
+    growable = GrowableTable(table)
+    assert growable.mode == "incremental"
+    assert isinstance(growable.table, DirectoryTable)
+    model = {}
+    for k, v in random_items(150, seed=22):
+        assert growable.insert(k, v)
+        model[k] = v
+    assert growable.expansions == 0  # no rebuild ever
+    assert growable.table.splits >= 3
+    assert dict(growable.items()) == model
+    assert growable.check_count()
+
+
+def test_growable_mode_validation():
+    _, table = build()
+    with pytest.raises(ValueError):
+        GrowableTable(table, mode="nope")
 
 
 def test_expanded_table_survives_crash():
