@@ -12,13 +12,18 @@ enforces the campaign's contract:
   (directory-of-segments) scheme with ``--min-splits`` segment splits
   inside the recorded window and ``--min-split-points`` crash
   boundaries landing mid-split, so the incremental-growth path stays
-  in the enumerated matrix.
+  in the enumerated matrix;
+- **batch coverage** — at least ``--min-batch-points`` crash
+  boundaries must come from batched-insert cells (``spec.batch > 0``),
+  whose workload commits through the coalesced ``put_many`` flush
+  window — proving batch coalescing never weakens recovery.
 
 Usage::
 
     python scripts/ci_crashmatrix_gate.py report.json \
         [--min-points 200] [--min-schemes 2] \
-        [--min-splits 3] [--min-split-points 1]
+        [--min-splits 3] [--min-split-points 1] \
+        [--min-batch-points 50]
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-schemes", type=int, default=2)
     parser.add_argument("--min-splits", type=int, default=3)
     parser.add_argument("--min-split-points", type=int, default=1)
+    parser.add_argument("--min-batch-points", type=int, default=50)
     args = parser.parse_args(argv)
 
     with open(args.report) as fh:
@@ -83,12 +89,24 @@ def main(argv: list[str] | None = None) -> int:
             f"(need >= 1 cell with >= {args.min_splits} in-window splits "
             f"and >= {args.min_split_points} mid-split crash points)"
         )
+    batch_points = sum(
+        cell["points"]
+        for cell in matrix["cells"]
+        if cell["spec"].get("batch", 0) > 0
+    )
+    if args.min_batch_points > 0 and batch_points < args.min_batch_points:
+        failed = True
+        print(
+            f"FAIL: only {batch_points} crash points in batched-insert "
+            f"cells (need >= {args.min_batch_points})"
+        )
     if not failed:
         split_points = sum(c.get("split_points", 0) for c in matrix["cells"])
         print(
             f"gate passed: {matrix['total_points']} points, "
             f"{matrix['total_replays']} replays, {len(schemes)} schemes, "
-            f"{split_points} mid-split points, 0 violations"
+            f"{split_points} mid-split points, {batch_points} batch points, "
+            "0 violations"
         )
     return 1 if failed else 0
 

@@ -1,0 +1,89 @@
+"""Non-gating trend check for the wall-clock throughput trajectory.
+
+Compares a fresh ``python -m repro.bench throughput --json`` dump
+against the committed baseline (``bench_throughput.json`` at the repo
+root, reseeded whenever a PR intentionally moves the trajectory). Cells
+are matched by their full spec dict; for each match, the fill and
+query ``wall_ops_per_s`` are compared and any drop beyond
+``--tolerance`` (default 20%) prints a ``WARN`` line.
+
+CI runners have noisy clocks, so this script **always exits 0** — it
+exists to put a regression in the job log where a reviewer will see
+it, not to block a merge on a slow runner. Simulated metrics need no
+tolerance and are pinned by tests instead.
+
+Usage::
+
+    python scripts/ci_throughput_trend.py fresh.json \
+        [--baseline bench_throughput.json] [--tolerance 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _cells_by_spec(dump: dict) -> dict[tuple, dict]:
+    """Index a dump's throughput cells by their (sorted) spec items."""
+    cells = dump["throughput"]["cells"]
+    return {tuple(sorted(cell["spec"].items())): cell for cell in cells}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Compare fresh vs baseline wall-clock throughput; always 0."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh")
+    parser.add_argument(
+        "--baseline",
+        default=str(Path(__file__).resolve().parent.parent / "bench_throughput.json"),
+    )
+    parser.add_argument("--tolerance", type=float, default=0.2)
+    args = parser.parse_args(argv)
+
+    with open(args.fresh) as fh:
+        fresh = _cells_by_spec(json.load(fh))
+    try:
+        with open(args.baseline) as fh:
+            base = _cells_by_spec(json.load(fh))
+    except FileNotFoundError:
+        print(f"trend: no baseline at {args.baseline}; nothing to compare")
+        return 0
+
+    matched = 0
+    warned = 0
+    for spec_key, base_cell in sorted(base.items()):
+        fresh_cell = fresh.get(spec_key)
+        if fresh_cell is None:
+            print(f"trend: baseline cell {dict(spec_key)} missing from fresh run")
+            continue
+        matched += 1
+        label = "{scheme}/{backend} b{batch}".format(**fresh_cell["spec"])
+        for phase in ("fill", "query"):
+            was = base_cell[phase]["wall_ops_per_s"]
+            now = fresh_cell[phase]["wall_ops_per_s"]
+            if was <= 0:
+                continue
+            change = (now - was) / was
+            if change < -args.tolerance:
+                warned += 1
+                print(
+                    f"WARN: {label} {phase}: {now:,.0f} ops/s vs baseline "
+                    f"{was:,.0f} ({change:+.1%}, tolerance -{args.tolerance:.0%})"
+                )
+            else:
+                print(
+                    f"ok:   {label} {phase}: {now:,.0f} ops/s vs baseline "
+                    f"{was:,.0f} ({change:+.1%})"
+                )
+    print(
+        f"trend: {matched} cell(s) compared, {warned} regression warning(s) "
+        "(non-gating)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

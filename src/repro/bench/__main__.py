@@ -34,6 +34,7 @@ from repro.bench.experiments import (
     profile as profile_exp,
     sweep_lf,
     table3,
+    throughput,
     writes,
 )
 from repro.bench.report import hrule
@@ -55,6 +56,7 @@ EXPERIMENTS = {
     "engine": engine_exp.run,
     "crashmatrix": crashmatrix.run,
     "profile": profile_exp.run,
+    "throughput": throughput.run,
 }
 
 #: experiments that measure wall-clock and therefore build their own
@@ -161,7 +163,8 @@ def main(argv: list[str] | None = None) -> int:
         names = [
             "fig2", "fig5", "fig6", "fig7", "fig8", "table3",
             "writes", "ablations", "sweep", "negative", "mixed",
-            "growth", "crashmatrix", "profile", "backends", "engine",
+            "growth", "throughput", "crashmatrix", "profile",
+            "backends", "engine",
         ]
 
     jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1

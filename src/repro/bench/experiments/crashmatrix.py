@@ -38,7 +38,7 @@ from repro.bench.report import format_ratio_note, format_table
 from repro.core import DirectoryTable, ShardedTable, recover_table
 from repro.nvm.backend import MemoryBackend, RawBackend
 from repro.nvm.crash import CrashSchedule
-from repro.nvm.crashpoint import Op, run_campaign
+from repro.nvm.crashpoint import BatchOp, Op, run_campaign
 from repro.tables.cell import CellCodec, ItemSpec
 
 #: schemes enumerated at the tiny (``--quick``) scale
@@ -78,6 +78,11 @@ class CrashMatrixSpec:
     #: per-segment cells for ``grow`` cells (small, so splits are cheap
     #: to enumerate and frequent enough to cross ≥3 in the window)
     segment_cells: int = 8
+    #: >0 = batched-insert workload: every insert op becomes a
+    #: ``put_many`` of this many fresh items, so crash boundaries land
+    #: inside the coalesced flush window and the per-key atomicity
+    #: oracle checks subset survival
+    batch: int = 0
     seed: int = 42
 
     def to_dict(self) -> dict:
@@ -97,6 +102,8 @@ class CrashMatrixSpec:
             name += "-dir"
         if self.n_shards:
             name += f" x{self.n_shards}"
+        if self.batch:
+            name += f" b{self.batch}"
         if self.backend != "raw":
             name += f" ({self.backend})"
         return name
@@ -104,7 +111,7 @@ class CrashMatrixSpec:
 
 def build_workload(
     spec: CrashMatrixSpec,
-) -> tuple[dict[bytes, bytes], list[Op]]:
+) -> tuple[dict[bytes, bytes], list[Op | BatchOp]]:
     """Deterministic (pre-fill items, measured op list) for one cell.
 
     Pure function of the spec: a seeded PRNG draws unique non-zero
@@ -112,7 +119,11 @@ def build_workload(
     repeating insert/delete/update/insert mix whose delete and update
     targets are drawn from the keys live at that point — so the
     workload crosses every commit discipline (fresh cell, tombstone,
-    in-place overwrite) while staying replayable bit-for-bit."""
+    in-place overwrite) while staying replayable bit-for-bit. With
+    ``spec.batch > 0`` every insert slot becomes a :class:`BatchOp` of
+    that many fresh items, so the enumerated crash boundaries land
+    inside the coalesced batch flush window (the deletes and updates in
+    between keep scalar commits in the same trace)."""
     spec_fields = ItemSpec()
     rng = random.Random((spec.seed << 8) ^ 0xC4A5)
     used: set[bytes] = set()
@@ -138,10 +149,16 @@ def build_workload(
         if spec.grow
         else ("insert", "delete", "update", "insert")
     )
-    ops: list[Op] = []
+    ops: list[Op | BatchOp] = []
     for i in range(spec.n_ops):
         kind = kinds[i % len(kinds)]
-        if kind == "insert":
+        if kind == "insert" and spec.batch:
+            batch = tuple(
+                (fresh_key(), fresh_value()) for _ in range(spec.batch)
+            )
+            shadow.update(batch)
+            ops.append(BatchOp("put_many", batch))
+        elif kind == "insert":
             key, value = fresh_key(), fresh_value()
             shadow[key] = value
             ops.append(Op("insert", key, value))
@@ -175,8 +192,10 @@ class TableCampaignHarness:
         tells :func:`record_trace` not to track split windows)."""
         return getattr(self.table, "splits", None)
 
-    def apply(self, op: Op) -> bool:
+    def apply(self, op: Op | BatchOp) -> bool:
         """Route one workload op to the table."""
+        if op.kind == "put_many":
+            return all(self.table.put_many(list(op.items)))
         if op.kind == "insert":
             return self.table.insert(op.key, op.value)
         if op.kind == "delete":
@@ -220,8 +239,10 @@ class ShardedCampaignHarness:
         """The crash shard's own backend."""
         return self.table.backend.shard(self.crash_shard)
 
-    def apply(self, op: Op) -> bool:
+    def apply(self, op: Op | BatchOp) -> bool:
         """Route one workload op through the shard router."""
+        if op.kind == "put_many":
+            return all(self.table.put_many(list(op.items)))
         if op.kind == "insert":
             return self.table.insert(op.key, op.value)
         if op.kind == "delete":
@@ -341,6 +362,7 @@ def run_crash_matrix_spec(spec: CrashMatrixSpec) -> dict:
         "scheme": spec.scheme,
         "backend": spec.backend,
         "n_shards": spec.n_shards,
+        "batch": spec.batch,
         "ops": result.n_ops,
         "events": result.trace.n_events,
         "points": result.points,
@@ -371,7 +393,8 @@ def campaign_specs(
     anything larger widens to every logged baseline and a higher subset
     budget, and adds a simulator-backend cell so the costed region's
     event semantics stay covered too. A sharded cell (group scheme,
-    shard-0 crash domain) is always present."""
+    shard-0 crash domain) and a batched-insert cell (coalesced
+    ``put_many`` commits) are always present."""
     quick = scale.name == "tiny"
     chosen = tuple(schemes) if schemes else (
         QUICK_SCHEMES if quick else FULL_SCHEMES
@@ -415,6 +438,22 @@ def campaign_specs(
                 seed=seed,
             )
         )
+    # the batched-insert cell: every insert is a coalesced put_many, so
+    # crash boundaries land inside the shared flush window and the
+    # per-key atomicity oracle proves subset survival is all coalescing
+    # can cost (DESIGN.md decision 13)
+    specs.append(
+        CrashMatrixSpec(
+            scheme="group",
+            backend="raw",
+            total_cells=cells,
+            group_size=32,
+            n_ops=8 if quick else 12,
+            subset_budget=subset_budget,
+            batch=4,
+            seed=seed,
+        )
+    )
     # the split-in-progress cell: tiny segments + insert-heavy mix so
     # several splits happen inside the recorded window and the campaign
     # enumerates crash boundaries landing mid-split
@@ -454,7 +493,7 @@ def run(
     columns = ["events", "points", "split_pts", "replays", "violations"]
     rows = []
     total_points = total_replays = total_violations = 0
-    total_splits = total_split_points = 0
+    total_splits = total_split_points = total_batch_points = 0
     first_prefix: list | None = None
     for spec, cell in zip(specs, cells):
         rows.append((
@@ -472,6 +511,8 @@ def run(
         total_violations += len(cell["violations"])
         total_splits += cell["splits"]
         total_split_points += cell["split_points"]
+        if spec.batch:
+            total_batch_points += cell["points"]
         if first_prefix is None and cell["min_failing_prefix"] is not None:
             first_prefix = cell["min_failing_prefix"]
 
@@ -491,6 +532,11 @@ def run(
         f"{total_split_points} crash points landed mid-split "
         "(recovery must land on the old or the new directory state)"
     )
+    text += "\n" + format_ratio_note(
+        f"{total_batch_points} crash points in batched-insert cells "
+        "(boundaries inside coalesced put_many flush windows; any "
+        "surviving subset must be per-item intact)"
+    )
     if first_prefix is not None:
         text += "\n" + format_ratio_note(
             f"minimal failing prefix: {len(first_prefix)} event(s) "
@@ -506,6 +552,7 @@ def run(
         "total_violations": total_violations,
         "total_splits": total_splits,
         "total_split_points": total_split_points,
+        "total_batch_points": total_batch_points,
         "ok": total_violations == 0,
     }
     return ExperimentResult(

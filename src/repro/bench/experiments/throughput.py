@@ -1,0 +1,306 @@
+"""Wall-clock throughput trajectory — real ops/sec, tracked per PR.
+
+Every other experiment reports *simulated* nanoseconds; this one is the
+ROADMAP's "as fast as the hardware allows" axis made measurable. Each
+cell (:class:`ThroughputSpec`) builds a table, fills it to a target
+load factor, queries every inserted key, then deletes half — timing
+each phase with ``perf_counter`` and reporting **both** trajectories:
+
+- ``wall_ops_per_s`` — real operations per second of the Python
+  process, the number the vectorized probe primitives and batch APIs
+  exist to move;
+- ``sim_ns_per_op`` — the simulated-NVM cost per op (0 on the raw
+  backend, which has no latency model), so fidelity and speed stay
+  separately visible;
+- ``flushes`` / ``fences`` per phase, which is where batch coalescing
+  shows up as a *count*, not a timing.
+
+The grid spans {scheme × backend × batch size}: ``batch=0`` drives the
+scalar ``insert``/``query``/``delete`` loop, ``batch>0`` submits
+``put_many``/``get_many``/``delete_many`` chunks of that size. Cells
+run through the bench engine, so the grid deduplicates, fans out
+across ``--jobs`` and round-trips through the result cache; wall-clock
+numbers are only *re-measured* under ``REPRO_BENCH_NO_CACHE=1`` (or
+``--no-cache``) — a cached report replays byte-identically, which is
+what lets CI diff reports across runs. The committed
+``bench_throughput.json`` seed is the trajectory's origin point;
+``scripts/ci_throughput_trend.py`` compares fresh runs against it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import asdict, dataclass
+
+from repro.bench.config import Scale, build_table
+from repro.bench.engine import default_engine, register_spec_kind
+from repro.bench.experiments import ExperimentResult, attach_warnings
+from repro.bench.report import format_ratio_note, format_table
+from repro.tables.cell import ItemSpec
+
+#: batch sizes enumerated for schemes with a batch API (0 = scalar loop)
+BATCH_SIZES: tuple[int, ...] = (0, 64, 512)
+
+
+@dataclass(frozen=True)
+class ThroughputSpec:
+    """One throughput cell, frozen so the engine can dedupe and cache it."""
+
+    scheme: str = "group"
+    #: "raw" (wall-clock oriented) or "sim" (costed simulator)
+    backend: str = "raw"
+    #: 0 = scalar op loop; >0 = *_many chunks of this size
+    batch: int = 0
+    total_cells: int = 1 << 14
+    group_size: int = 128
+    #: fill target (fraction of ``total_cells`` inserted)
+    load_factor: float = 0.6
+    seed: int = 42
+
+    def to_dict(self) -> dict:
+        """JSON-ready field dict."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ThroughputSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
+    @property
+    def label(self) -> str:
+        """Report row label, e.g. ``group/raw``, ``group/raw b512``."""
+        name = f"{self.scheme}/{self.backend}"
+        if self.batch:
+            name += f" b{self.batch}"
+        return name
+
+
+def _phase(
+    n_ops: int, wall_s: float, sim_ns: float, flushes: int, fences: int
+) -> dict:
+    """One phase's JSON-ready measurement record."""
+    return {
+        "ops": n_ops,
+        "wall_s": wall_s,
+        "wall_ops_per_s": n_ops / wall_s if wall_s > 0 else 0.0,
+        "sim_ns_per_op": sim_ns / n_ops if n_ops else 0.0,
+        "flushes": flushes,
+        "fences": fences,
+    }
+
+
+def run_throughput_spec(spec: ThroughputSpec) -> dict:
+    """Execute one throughput cell; returns a JSON-ready summary dict.
+
+    Deterministic workload (keys from a seeded PRNG), measured
+    wall-clock — so every field except the ``wall_*`` timings is a pure
+    function of the spec, and the timings are only re-measured when the
+    engine cache is bypassed."""
+    built = build_table(
+        spec.scheme,
+        spec.total_cells,
+        ItemSpec(),
+        group_size=spec.group_size,
+        seed=spec.seed,
+        backend=spec.backend,
+    )
+    table, region = built.table, built.region
+    spec_fields = ItemSpec()
+    rng = random.Random((spec.seed << 8) ^ 0x7B)
+    n_items = int(spec.total_cells * spec.load_factor)
+    used: set[bytes] = set()
+    items: list[tuple[bytes, bytes]] = []
+    while len(items) < n_items:
+        key = rng.getrandbits(64).to_bytes(spec_fields.key_size, "little")
+        if any(key) and key not in used:
+            used.add(key)
+            items.append((key, rng.getrandbits(64).to_bytes(8, "little")))
+
+    def snapshot() -> tuple[float, int, int]:
+        stats = region.stats
+        return stats.sim_time_ns, stats.flushes, stats.fences
+
+    phases: dict[str, dict] = {}
+
+    def timed(name: str, n_ops: int, work) -> None:
+        sim0, flush0, fence0 = snapshot()
+        t0 = time.perf_counter()
+        work()
+        wall = time.perf_counter() - t0
+        sim1, flush1, fence1 = snapshot()
+        phases[name] = _phase(
+            n_ops, wall, sim1 - sim0, flush1 - flush0, fence1 - fence0
+        )
+
+    batch = spec.batch
+    inserted = 0
+
+    def fill() -> None:
+        nonlocal inserted
+        if batch and hasattr(table, "put_many"):
+            for i in range(0, n_items, batch):
+                inserted += sum(table.put_many(items[i : i + batch]))
+        else:
+            for key, value in items:
+                inserted += bool(table.insert(key, value))
+
+    timed("fill", n_items, fill)
+
+    query_keys = [key for key, _ in items]
+    rng.shuffle(query_keys)
+    hits = 0
+
+    def query() -> None:
+        nonlocal hits
+        if batch and hasattr(table, "get_many"):
+            for i in range(0, len(query_keys), batch):
+                hits += sum(
+                    v is not None
+                    for v in table.get_many(query_keys[i : i + batch])
+                )
+        else:
+            for key in query_keys:
+                hits += table.query(key) is not None
+
+    timed("query", len(query_keys), query)
+
+    delete_keys = query_keys[: n_items // 2]
+    deleted = 0
+
+    def delete() -> None:
+        nonlocal deleted
+        if batch and hasattr(table, "delete_many"):
+            for i in range(0, len(delete_keys), batch):
+                deleted += sum(table.delete_many(delete_keys[i : i + batch]))
+        else:
+            for key in delete_keys:
+                deleted += table.delete(key)
+
+    timed("delete", len(delete_keys), delete)
+
+    return {
+        "scheme": spec.scheme,
+        "backend": spec.backend,
+        "batch": spec.batch,
+        "n_items": n_items,
+        "inserted": inserted,
+        "hits": hits,
+        "deleted": deleted,
+        "fill": phases["fill"],
+        "query": phases["query"],
+        "delete": phases["delete"],
+    }
+
+
+register_spec_kind(ThroughputSpec, run_throughput_spec)
+
+
+def throughput_specs(scale: Scale, seed: int) -> list[ThroughputSpec]:
+    """The {scheme × backend × batch} grid for one scale.
+
+    Group hashing (the paper's scheme) is enumerated on both backends
+    and at every batch size; the linear baseline runs scalar-only (it
+    has no batch API) so the trajectory keeps one scalar reference
+    point per backend that is *not* the paper's scheme."""
+    specs = [
+        ThroughputSpec(
+            scheme="group",
+            backend=backend,
+            batch=batch,
+            total_cells=scale.total_cells,
+            group_size=scale.group_size,
+            seed=seed,
+        )
+        for backend in ("raw", "sim")
+        for batch in BATCH_SIZES
+    ]
+    specs += [
+        ThroughputSpec(
+            scheme="linear",
+            backend=backend,
+            batch=0,
+            total_cells=scale.total_cells,
+            group_size=scale.group_size,
+            seed=seed,
+        )
+        for backend in ("raw", "sim")
+    ]
+    return specs
+
+
+def run(scale: Scale, seed: int = 42, engine=None) -> ExperimentResult:
+    """Run the throughput grid at ``scale`` and render the trajectory."""
+    engine = engine or default_engine()
+    specs = throughput_specs(scale, seed)
+    cells = engine.run(specs)
+
+    columns = [
+        "fill_ops_s",
+        "query_ops_s",
+        "del_ops_s",
+        "fill_sim_ns",
+        "query_sim_ns",
+        "fill_flushes",
+    ]
+    rows = []
+    for spec, cell in zip(specs, cells):
+        rows.append((
+            spec.label,
+            {
+                "fill_ops_s": cell["fill"]["wall_ops_per_s"],
+                "query_ops_s": cell["query"]["wall_ops_per_s"],
+                "del_ops_s": cell["delete"]["wall_ops_per_s"],
+                "fill_sim_ns": cell["fill"]["sim_ns_per_op"],
+                "query_sim_ns": cell["query"]["sim_ns_per_op"],
+                "fill_flushes": cell["fill"]["flushes"],
+            },
+        ))
+    text = format_table(
+        "Throughput: wall-clock ops/sec and simulated ns/op per phase",
+        columns,
+        rows,
+        precision=0,
+    )
+
+    def cell_for(scheme: str, backend: str, batch: int) -> dict | None:
+        for spec, cell in zip(specs, cells):
+            if (spec.scheme, spec.backend, spec.batch) == (scheme, backend, batch):
+                return cell
+        return None
+
+    scalar = cell_for("group", "raw", 0)
+    best_batch = max(
+        (
+            cell
+            for spec, cell in zip(specs, cells)
+            if spec.scheme == "group" and spec.backend == "raw" and spec.batch
+        ),
+        key=lambda c: c["fill"]["wall_ops_per_s"],
+        default=None,
+    )
+    if scalar and best_batch:
+        fill_gain = best_batch["fill"]["wall_ops_per_s"] / max(
+            1.0, scalar["fill"]["wall_ops_per_s"]
+        )
+        flush_save = scalar["fill"]["flushes"] / max(
+            1, best_batch["fill"]["flushes"]
+        )
+        text += "\n" + format_ratio_note(
+            f"group/raw batching: {fill_gain:.2f}x fill ops/sec over the "
+            f"scalar loop at batch={best_batch['batch']}, "
+            f"{flush_save:.1f}x fewer flushes"
+        )
+
+    data = {
+        "cells": [
+            dict(cell, spec=spec.to_dict()) for spec, cell in zip(specs, cells)
+        ],
+    }
+    result = ExperimentResult(
+        name="throughput",
+        paper_ref="Wall-clock trajectory (beyond the paper; ROADMAP item 4)",
+        data=data,
+        text=text,
+    )
+    return attach_warnings(result, engine)

@@ -45,14 +45,15 @@ def bulk_load(
 
     # ---- plan placements in memory -----------------------------------
     # current occupancy, read once (cost-free peeks: planning is CPU
-    # work, not memory traffic)
-    level1_used = [False] * layout.n_cells_level
-    level2_used = [False] * layout.n_cells_level
-    for i in range(layout.n_cells_level):
-        if region.peek_volatile(layout.tab1_addr(codec, i), 1)[0] & OCCUPIED_BIT:
-            level1_used[i] = True
-        if region.peek_volatile(layout.tab2_addr(codec, i), 1)[0] & OCCUPIED_BIT:
-            level2_used[i] = True
+    # work, not memory traffic). One range peek per level array — not
+    # one peek per cell — decoded in memory; the peek count is pinned
+    # by tests/test_bulk_load.py.
+    cell_size = codec.cell_size
+    n_level = layout.n_cells_level
+    raw1 = region.peek_volatile(layout.tab1_addr(codec, 0), cell_size * n_level)
+    raw2 = region.peek_volatile(layout.tab2_addr(codec, 0), cell_size * n_level)
+    level1_used = [bool(raw1[i * cell_size] & OCCUPIED_BIT) for i in range(n_level)]
+    level2_used = [bool(raw2[i * cell_size] & OCCUPIED_BIT) for i in range(n_level)]
 
     placements: list[tuple[int, bytes, bytes]] = []  # (cell addr, key, value)
     rejected: list[tuple[bytes, bytes]] = []

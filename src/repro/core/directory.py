@@ -278,6 +278,66 @@ class DirectoryTable:
         return self.segment_for(key).update(key, value)
 
     # ------------------------------------------------------------------
+    # batch operations (DESIGN.md decision 13)
+
+    def put_many(self, items: list[tuple[bytes, bytes]]) -> list[bool]:
+        """Batched insert; one bool per item, in order.
+
+        Consecutive items routed to the same segment form a *run*
+        committed with one coalesced
+        :meth:`GroupHashTable._put_many_prefix` call. A run that stops
+        short means its next item needs a split, so exactly that item
+        takes the scalar :meth:`insert` path (split + retry — the same
+        point a scalar loop would have split at), and the remainder is
+        re-routed through the post-split directory. Final persistent
+        state is byte-identical to the scalar loop."""
+        results: list[bool] = []
+        i, n = 0, len(items)
+        while i < n:
+            seg = self.segment_for(items[i][0])
+            j = i + 1
+            while j < n and self.segment_for(items[j][0]) is seg:
+                j += 1
+            run = items[i:j]
+            consumed = seg._put_many_prefix(run)
+            results.extend([True] * consumed)
+            i += consumed
+            if consumed < len(run):
+                key, value = items[i]
+                results.append(self.insert(key, value))
+                i += 1
+        return results
+
+    def get_many(self, keys: list[bytes]) -> list[bytes | None]:
+        """Batched lookup: keys grouped per segment, each group resolved
+        with that segment's vectorized :meth:`GroupHashTable.get_many`;
+        results in input order."""
+        out: list[bytes | None] = [None] * len(keys)
+        groups: dict[int, list[int]] = {}
+        for i, key in enumerate(keys):
+            groups.setdefault(self.segment_for(key)._info_addr, []).append(i)
+        for addr, idxs in groups.items():
+            values = self._segments[addr].get_many([keys[i] for i in idxs])
+            for i, value in zip(idxs, values):
+                out[i] = value
+        return out
+
+    def delete_many(self, keys: list[bytes]) -> list[bool]:
+        """Batched delete: keys grouped per segment, each group committed
+        with that segment's coalesced :meth:`GroupHashTable.delete_many`.
+        Same key twice in one batch: first occurrence wins (routing is
+        deterministic, so duplicates always land in the same group)."""
+        out: list[bool] = [False] * len(keys)
+        groups: dict[int, list[int]] = {}
+        for i, key in enumerate(keys):
+            groups.setdefault(self.segment_for(key)._info_addr, []).append(i)
+        for addr, idxs in groups.items():
+            hits = self._segments[addr].delete_many([keys[i] for i in idxs])
+            for i, hit in zip(idxs, hits):
+                out[i] = hit
+        return out
+
+    # ------------------------------------------------------------------
     # growth
 
     def _entries_of(self, addr: int) -> list[int]:

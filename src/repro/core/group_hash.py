@@ -241,6 +241,276 @@ class GroupHashTable(PersistentHashTable):
         return True
 
     # ------------------------------------------------------------------
+    # batch operations (beyond the paper; DESIGN.md decision 13)
+
+    def put_many(self, items: list[tuple[bytes, bytes]]) -> list[bool]:
+        """Insert a batch of ``(key, value)`` pairs; one bool per item.
+
+        Placement policy is Algorithm 1's, applied to the items in
+        order (later items see earlier, still-uncommitted placements),
+        so the final persistent state is byte-identical to a loop of
+        :meth:`insert` calls. Persistence is coalesced per batch: all
+        key-value stores, one flush per touched line, one fence, then
+        all bitmap commits, one flush per header line, one fence, then
+        a single count persist. Every persisted bitmap still implies
+        its key-value bytes persisted first, so recovery (Algorithm 4)
+        holds at any crash boundary inside the batch — a mid-batch
+        crash durably keeps some *subset* of the batch's items, each
+        individually intact (proven by the crash-matrix batch cell)."""
+        results, placements, _ = self._plan_puts(items, stop_on_failure=False)
+        self._commit_puts(placements)
+        return results
+
+    def _put_many_prefix(self, items: list[tuple[bytes, bytes]]) -> int:
+        """Place and commit the longest placeable prefix of ``items``;
+        returns how many were consumed. Directory segments use this so
+        a full segment stops the batch exactly where a scalar loop
+        would have triggered the split."""
+        _, placements, consumed = self._plan_puts(items, stop_on_failure=True)
+        self._commit_puts(placements)
+        return consumed
+
+    def _plan_puts(
+        self, items: list[tuple[bytes, bytes]], *, stop_on_failure: bool
+    ) -> tuple[list[bool], list[tuple[int, bytes, bytes]], int]:
+        """Plan Algorithm 1 placements for a batch without committing.
+
+        Occupancy is read through the costed scan primitives — one
+        gather over the batch's home cells, one group-filter bitmap per
+        touched level-2 group — and mirrored in volatile caches so
+        later items observe earlier claims. Returns ``(results,
+        placements, consumed)``; with ``stop_on_failure`` the plan ends
+        at the first unplaceable item (``consumed`` < ``len(items)``)."""
+        layout, region, codec = self.layout, self.region, self.codec
+        spec = codec.spec
+        cell_size = codec.cell_size
+        group_size = self.group_size
+        n_level = layout.n_cells_level
+        full_mask = (1 << group_size) - 1
+        tab1, tab2 = layout.tab1_base, layout.tab2_base
+        for key, value in items:
+            if len(key) != spec.key_size or len(value) != spec.value_size:
+                raise ValueError(
+                    f"item must be {spec.key_size}+{spec.value_size} bytes, "
+                    f"got {len(key)}+{len(value)}"
+                )
+        hashes = self._hashes
+        homes = [hashes[0](key) % n_level for key, _ in items]
+        unique = sorted(set(homes))
+        seed_bitmap = region.scan_occupied_at(
+            [tab1 + k * cell_size for k in unique], OCCUPIED_BIT
+        )
+        l1_state = {k: bool(seed_bitmap >> i & 1) for i, k in enumerate(unique)}
+        group_state: dict[int, int] = {}
+        results = [False] * len(items)
+        placements: list[tuple[int, bytes, bytes]] = []
+        for idx, (key, value) in enumerate(items):
+            placed = False
+            for hi, h in enumerate(hashes):
+                k = homes[idx] if hi == 0 else h(key) % n_level
+                occupied = l1_state.get(k)
+                if occupied is None:
+                    occupied = bool(
+                        region.read_u64(tab1 + k * cell_size) & OCCUPIED_BIT
+                    )
+                if not occupied:
+                    l1_state[k] = True
+                    placements.append((tab1 + k * cell_size, key, value))
+                    placed = True
+                    break
+                l1_state[k] = True
+                group = k // group_size
+                bitmap = group_state.get(group)
+                if bitmap is None:
+                    bitmap = region.scan_occupied_bitmap(
+                        tab2 + group * group_size * cell_size,
+                        cell_size,
+                        group_size,
+                        OCCUPIED_BIT,
+                    )
+                free = ~bitmap & full_mask
+                if free:
+                    slot = (free & -free).bit_length() - 1
+                    group_state[group] = bitmap | (1 << slot)
+                    placements.append(
+                        (
+                            tab2 + (group * group_size + slot) * cell_size,
+                            key,
+                            value,
+                        )
+                    )
+                    placed = True
+                    break
+                group_state[group] = bitmap
+            results[idx] = placed
+            if not placed and stop_on_failure:
+                return results[:idx], placements, idx
+        return results, placements, len(items)
+
+    def _commit_puts(self, placements: list[tuple[int, bytes, bytes]]) -> None:
+        """Coalesced Algorithm 1 commit of planned placements.
+
+        Phase order carries the consistency argument: every key-value
+        store is flushed and fenced *before any* bitmap store issues,
+        so no schedule can persist a set bitmap whose key-value bytes
+        were lost — the exact invariant Algorithm 4 relies on. The
+        count is persisted once; recovery rebuilds it anyway."""
+        if not placements:
+            return
+        region = self.region
+        item_size = self.codec.spec.item_size
+        line = region.line_size
+        placements.sort(key=lambda p: p[0])
+        kv_lines: list[int] = []
+        for addr, key, value in placements:
+            kv_addr = addr + HEADER_SIZE
+            region.write(kv_addr, key + value)
+            first = kv_addr // line
+            last = (kv_addr + item_size - 1) // line
+            for ln in range(first, last + 1):
+                if not kv_lines or kv_lines[-1] != ln:
+                    kv_lines.append(ln)
+        for ln in kv_lines:
+            region.clflush(ln * line)
+        region.mfence()
+        header_lines: list[int] = []
+        for addr, _, _ in placements:
+            region.write_atomic_u64(addr, region.read_u64(addr) | OCCUPIED_BIT)
+            ln = addr // line
+            if not header_lines or header_lines[-1] != ln:
+                header_lines.append(ln)
+        for ln in header_lines:
+            region.clflush(ln * line)
+        region.mfence()
+        self._set_count(self._count + len(placements))
+        if self.metrics is not None:
+            self.metrics.counter("group.batch_put_items").inc(len(placements))
+
+    def _find_many(self, keys: list[bytes]) -> list[int | None]:
+        """Batched Algorithm 2: cell address per key (or None).
+
+        One vectorized home-cell probe covers the whole batch in
+        address order; keys that miss level 1 are grouped by their
+        level-2 group and resolved with one multi-key group filter per
+        group, groups visited in address order for locality."""
+        layout, region, codec = self.layout, self.region, self.codec
+        cell_size = codec.cell_size
+        group_size = self.group_size
+        n_level = layout.n_cells_level
+        tab1, tab2 = layout.tab1_base, layout.tab2_base
+        h0 = self._hashes[0]
+        n = len(keys)
+        out: list[int | None] = [None] * n
+        homes = [h0(key) % n_level for key in keys]
+        order = sorted(range(n), key=lambda i: homes[i])
+        l1_hits = region.scan_match_pairs(
+            [(tab1 + homes[i] * cell_size, keys[i]) for i in order],
+            mask=OCCUPIED_BIT,
+            key_offset=HEADER_SIZE,
+        )
+        groups: dict[int, list[int]] = {}
+        for pos, i in enumerate(order):
+            if l1_hits[pos]:
+                out[i] = tab1 + homes[i] * cell_size
+            else:
+                groups.setdefault(homes[i] // group_size, []).append(i)
+        for group in sorted(groups):
+            idxs = groups[group]
+            base = tab2 + group * group_size * cell_size
+            found = region.scan_match_many(
+                base,
+                cell_size,
+                group_size,
+                [keys[i] for i in idxs],
+                mask=OCCUPIED_BIT,
+                key_offset=HEADER_SIZE,
+            )
+            for i, slot in zip(idxs, found):
+                if slot is not None:
+                    out[i] = base + slot * cell_size
+        return out
+
+    def get_many(self, keys: list[bytes]) -> list[bytes | None]:
+        """Batched Algorithm 2 lookups; one value (or None) per key.
+
+        Probes are vectorized and address-sorted (see :meth:`_find_many`);
+        results come back in input order. Read-only, so there is no
+        consistency argument to make — only reordered read traffic."""
+        if self.n_hash_functions != 1:
+            return [self.query(key) for key in keys]
+        region = self.region
+        value_offset = self.codec.value_offset
+        value_size = self.spec.value_size
+        return [
+            None if addr is None else region.read(addr + value_offset, value_size)
+            for addr in self._find_many(keys)
+        ]
+
+    def delete_many(self, keys: list[bytes]) -> list[bool]:
+        """Batched Algorithm 3; one bool per key.
+
+        Lookups are batched like :meth:`get_many`; commits are coalesced
+        in two fenced phases mirroring Algorithm 3's order (all bitmap
+        clears flushed before any key-value wipe issues), so a persisted
+        bitmap-clear can only expose a cell recovery knows to reset.
+        Duplicate keys within one batch: only the first occurrence
+        deletes; later duplicates report False (a second copy of the
+        key stored in another cell is only found by a later call)."""
+        if self.n_hash_functions != 1:
+            return [self.delete(key) for key in keys]
+        addrs = self._find_many(keys)
+        claimed: set[int] = set()
+        victims: list[int] = []
+        results: list[bool] = []
+        for addr in addrs:
+            if addr is None or addr in claimed:
+                results.append(False)
+            else:
+                claimed.add(addr)
+                victims.append(addr)
+                results.append(True)
+        self._commit_deletes(victims)
+        return results
+
+    def _commit_deletes(self, victims: list[int]) -> None:
+        """Coalesced Algorithm 3 commit: bitmap-clear phase (flush +
+        fence) strictly before the key-value wipe phase (flush + fence),
+        then one count persist."""
+        if not victims:
+            return
+        region = self.region
+        item_size = self.codec.spec.item_size
+        line = region.line_size
+        victims.sort()
+        header_lines: list[int] = []
+        for addr in victims:
+            region.write_atomic_u64(
+                addr, region.read_u64(addr) & ~OCCUPIED_BIT & 0xFFFFFFFFFFFFFFFF
+            )
+            ln = addr // line
+            if not header_lines or header_lines[-1] != ln:
+                header_lines.append(ln)
+        for ln in header_lines:
+            region.clflush(ln * line)
+        region.mfence()
+        empty_kv = bytes(item_size)
+        kv_lines: list[int] = []
+        for addr in victims:
+            kv_addr = addr + HEADER_SIZE
+            region.write(kv_addr, empty_kv)
+            first = kv_addr // line
+            last = (kv_addr + item_size - 1) // line
+            for ln in range(first, last + 1):
+                if not kv_lines or kv_lines[-1] != ln:
+                    kv_lines.append(ln)
+        for ln in kv_lines:
+            region.clflush(ln * line)
+        region.mfence()
+        self._set_count(self._count - len(victims))
+        if self.metrics is not None:
+            self.metrics.counter("group.batch_delete_items").inc(len(victims))
+
+    # ------------------------------------------------------------------
     # Algorithm 4
 
     def recover(self) -> None:

@@ -183,6 +183,65 @@ class ShardedTable:
         return self.table_for(key).update(key, value)
 
     # ------------------------------------------------------------------
+    # batch operations (DESIGN.md decision 13)
+
+    def _shard_indices(self, keys: list[bytes]) -> dict[int, list[int]]:
+        """Input indices grouped per shard, preserving relative order
+        within each shard (the order the sub-batch is submitted in)."""
+        per_shard: dict[int, list[int]] = {}
+        for i, key in enumerate(keys):
+            per_shard.setdefault(self.shard_of(key), []).append(i)
+        return per_shard
+
+    def put_many(self, items: list[tuple[bytes, bytes]]) -> list[bool]:
+        """Batched insert: items are routed into per-shard sub-batches
+        (relative order preserved) and each shard commits its sub-batch
+        with its own coalesced ``put_many``; results in input order.
+        Shards whose table type lacks a batch API fall back to a scalar
+        loop — routing semantics are identical either way."""
+        out = [False] * len(items)
+        for shard, idxs in sorted(self._shard_indices([k for k, _ in items]).items()):
+            table = self.tables[shard]
+            sub = [items[i] for i in idxs]
+            if hasattr(table, "put_many"):
+                res = table.put_many(sub)
+            else:
+                res = [table.insert(k, v) for k, v in sub]
+            for i, r in zip(idxs, res):
+                out[i] = r
+        return out
+
+    def get_many(self, keys: list[bytes]) -> list[bytes | None]:
+        """Batched lookup via per-shard sub-batches; input order."""
+        out: list[bytes | None] = [None] * len(keys)
+        for shard, idxs in sorted(self._shard_indices(keys).items()):
+            table = self.tables[shard]
+            sub = [keys[i] for i in idxs]
+            if hasattr(table, "get_many"):
+                res = table.get_many(sub)
+            else:
+                res = [table.query(k) for k in sub]
+            for i, r in zip(idxs, res):
+                out[i] = r
+        return out
+
+    def delete_many(self, keys: list[bytes]) -> list[bool]:
+        """Batched delete via per-shard sub-batches; input order.
+        Duplicate keys route to one shard, so the per-table first-
+        occurrence-wins rule applies globally."""
+        out = [False] * len(keys)
+        for shard, idxs in sorted(self._shard_indices(keys).items()):
+            table = self.tables[shard]
+            sub = [keys[i] for i in idxs]
+            if hasattr(table, "delete_many"):
+                res = table.delete_many(sub)
+            else:
+                res = [table.delete(k) for k in sub]
+            for i, r in zip(idxs, res):
+                out[i] = r
+        return out
+
+    # ------------------------------------------------------------------
     # aggregated state
 
     @property

@@ -186,6 +186,119 @@ class KVStore:
         self.slab.free(addr, length)
         return True
 
+    # ------------------------------------------------------------------
+    # batch operations (DESIGN.md decision 13)
+
+    def _validate(self, key: bytes, value: bytes) -> None:
+        """The same bounds checks :meth:`put` applies, factored out so a
+        batch rejects bad items before it allocates anything."""
+        if not key:
+            raise ValueError("key must be non-empty")
+        if len(key) > self.max_key:
+            raise ValueError(
+                f"key of {len(key)} bytes exceeds max_key={self.max_key}"
+            )
+        if len(value) > self.max_value:
+            raise ValueError(f"value exceeds max_value={self.max_value}")
+
+    def put_many(self, items: list[tuple[bytes, bytes]]) -> list[bool]:
+        """Batched put; one bool per item.
+
+        The fast path applies when every key is fresh (no overwrite, no
+        duplicate digest within the batch): all records are written,
+        each touched cacheline flushed once, one fence, then the index
+        publishes all locators with one coalesced
+        ``put_many`` — record persistence is fenced *before* any
+        locator publishes, the same order the scalar path guarantees
+        per item. Overwrites or intra-batch duplicates fall back to a
+        scalar :meth:`put` loop (the delete-then-insert overwrite
+        window does not coalesce). When every put succeeds the final
+        persistent state is byte-identical to the scalar loop; a failed
+        index insert frees its chunk, after which the volatile slab may
+        hand later allocations different (equally valid) addresses than
+        the loop would."""
+        for key, value in items:
+            self._validate(key, value)
+        digests = [self._digest(key) for key, _ in items]
+        if hasattr(self.index, "get_many"):
+            present = self.index.get_many(digests)
+        else:
+            present = [self.index.query(d) for d in digests]
+        if len(set(digests)) != len(digests) or any(
+            raw is not None for raw in present
+        ):
+            return [self.put(key, value) for key, value in items]
+        region = self.region
+        line = region.line_size
+        chunks: list[tuple[int, int]] = []
+        lines: set[int] = set()
+        for key, value in items:
+            record = len(key).to_bytes(2, "little") + key + value
+            addr = self.slab.alloc(len(record))
+            region.write(addr, record)
+            chunks.append((addr, len(record)))
+            lines.update(range(addr // line, (addr + len(record) - 1) // line + 1))
+        for ln in sorted(lines):
+            region.clflush(ln * line)
+        region.mfence()
+        pairs = [
+            (digest, _pack_locator(addr, length))
+            for digest, (addr, length) in zip(digests, chunks)
+        ]
+        results = self.index.put_many(pairs)
+        for (addr, length), ok in zip(chunks, results):
+            if not ok:
+                self.slab.free(addr, length)
+        return results
+
+    def get_many(self, keys: list[bytes]) -> list[bytes | None]:
+        """Batched get: one coalesced index lookup for the whole batch,
+        then one record read per hit; results in input order."""
+        digests = [self._digest(key) for key in keys]
+        if hasattr(self.index, "get_many"):
+            locators = self.index.get_many(digests)
+        else:
+            locators = [self.index.query(d) for d in digests]
+        out: list[bytes | None] = []
+        for key, raw in zip(keys, locators):
+            if raw is None:
+                out.append(None)
+                continue
+            addr, length = _unpack_locator(raw)
+            stored_key, value = self._read_record(addr, length)
+            out.append(value if stored_key == key else None)
+        return out
+
+    def delete_many(self, keys: list[bytes]) -> list[bool]:
+        """Batched delete: batch index lookup, per-record key check
+        (digest collisions treated as absent, as in :meth:`delete`),
+        then one coalesced index ``delete_many`` before the freed
+        chunks return to the slab. Duplicate keys in one batch: first
+        occurrence wins, exactly like the scalar loop."""
+        digests = [self._digest(key) for key in keys]
+        if hasattr(self.index, "get_many"):
+            locators = self.index.get_many(digests)
+        else:
+            locators = [self.index.query(d) for d in digests]
+        candidates: list[tuple[int, bytes, int, int]] = []
+        for i, (key, raw) in enumerate(zip(keys, locators)):
+            if raw is None:
+                continue
+            addr, length = _unpack_locator(raw)
+            stored_key, _ = self._read_record(addr, length)
+            if stored_key == key:
+                candidates.append((i, digests[i], addr, length))
+        if hasattr(self.index, "delete_many"):
+            deleted = self.index.delete_many([c[1] for c in candidates])
+        else:
+            deleted = [self.index.delete(c[1]) for c in candidates]
+        results = [False] * len(keys)
+        for (i, _, addr, length), ok in zip(candidates, deleted):
+            results[i] = ok
+            if ok:
+                self.slab.free(addr, length)
+        return results
+
     def __contains__(self, key: bytes) -> bool:
         return self._locate(key) is not None
 

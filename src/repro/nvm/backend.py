@@ -31,7 +31,13 @@ reaches identical persistent states — the parity property pinned by
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Protocol, runtime_checkable
+
+try:  # optional acceleration; REPRO_NO_NUMPY=1 disables it explicitly
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 from repro.nvm.crash import CrashSchedule, drop_all_schedule
 from repro.nvm.memory import (
@@ -160,6 +166,76 @@ class MemoryBackend(Protocol):
         level-2 scan. ``mask`` must fit in the header's low byte."""
         ...
 
+    def scan_occupied_bitmap(
+        self, addr: int, stride: int, count: int, mask: int = 1
+    ) -> int:
+        """Bitmap of the ``mask`` bit over ``count`` strided header
+        words (bit ``i`` set iff ``word(addr + i*stride) & mask``).
+
+        Event semantics: one :meth:`read_u64` per word, full scan (no
+        early exit) — the group-filter batch planners use to learn a
+        whole level-2 group's occupancy in one call."""
+        ...
+
+    def scan_occupied_at(self, addrs, mask: int = 1) -> int:
+        """Gather variant of :meth:`scan_occupied_bitmap` over explicit
+        addresses; one :meth:`read_u64` per address, full scan."""
+        ...
+
+    def scan_match_many(
+        self,
+        addr: int,
+        stride: int,
+        count: int,
+        keys,
+        *,
+        mask: int = 1,
+        key_offset: int = 8,
+    ) -> list[int | None]:
+        """Multi-key :meth:`scan_match` over one strided window.
+
+        Event semantics: the concatenation of the per-key
+        :meth:`scan_match` sequences, in key order."""
+        ...
+
+    def scan_probe(
+        self,
+        addr: int,
+        stride: int,
+        count: int,
+        key: bytes,
+        *,
+        mask: int = 1,
+        key_offset: int = 8,
+    ) -> tuple[int, bool] | None:
+        """First strided cell that is empty or stores ``key``:
+        ``(index, matched)``, or None — the linear-probing lookup.
+
+        Event semantics: one ``read`` of header+key per probed cell,
+        stopping at the empty-or-match cell."""
+        ...
+
+    def scan_clear_at(self, addrs, mask: int = 1) -> int | None:
+        """Gather variant of :meth:`scan_clear_u64`; one
+        :meth:`read_u64` per probed address, stopping at the first
+        clear word."""
+        ...
+
+    def scan_match_at(
+        self, addrs, key: bytes, *, mask: int = 1, key_offset: int = 8
+    ) -> int | None:
+        """Gather variant of :meth:`scan_match`; one ``read`` of
+        header+key per probed address, stopping at the match."""
+        ...
+
+    def scan_match_pairs(
+        self, pairs, *, mask: int = 1, key_offset: int = 8
+    ) -> list[bool]:
+        """Independent occupied-and-stores-key tests over ``(addr,
+        key)`` pairs; one ``read`` of header+key per pair, full scan —
+        the batched level-1 home-cell probe."""
+        ...
+
     # -- persistence primitives ----------------------------------------
 
     def clflush(self, addr: int) -> None:
@@ -216,6 +292,10 @@ class MemoryBackend(Protocol):
 #: relationships are bit-for-bit those of the pre-protocol code.
 SimBackend = NVMRegion
 
+#: below this many probed cells the scalar loop beats the numpy setup
+#: cost, so vectorized scans fall back to the byte-loop path
+_NP_MIN_SCAN = 16
+
 
 class RawBackend:
     """Simulation-free :class:`MemoryBackend`: the fast path.
@@ -259,6 +339,20 @@ class RawBackend:
         # needs per-event bookkeeping. Keeping this a single attribute
         # lets read/write/persist skip two attribute tests per event.
         self._slow = False
+        # Vectorized-scan views over the volatile image. numpy views
+        # share memory with the bytearray (crash()'s in-place reset
+        # keeps them valid); REPRO_NO_NUMPY=1 forces the pure-Python
+        # scan paths, which produce identical results and event counts.
+        self._np = None if os.environ.get("REPRO_NO_NUMPY") else _np
+        if self._np is not None:
+            self._np_u8 = self._np.frombuffer(self._volatile, dtype=self._np.uint8)
+            self._np_u64 = (
+                self._np.frombuffer(self._volatile, dtype="<u8", count=size // 8)
+                if size >= 8
+                else None
+            )
+        else:
+            self._np_u8 = self._np_u64 = None
 
     @property
     def event_hook(self) -> Callable[[str, int, int], None] | None:
@@ -413,23 +507,45 @@ class RawBackend:
     # ------------------------------------------------------------------
     # bulk probes
 
+    def _np_strided_headers(self, addr: int, stride: int, count: int):
+        """Strided u64 view of ``count`` header words, or None when the
+        geometry does not allow a u64 view (misaligned or odd stride)."""
+        if self._np_u64 is None or addr % 8 or stride % 8:
+            return None
+        step = stride // 8
+        word = addr // 8
+        return self._np_u64[word : word + (count - 1) * step + 1 : step]
+
     def scan_clear_u64(
         self, addr: int, stride: int, count: int, mask: int = 1
     ) -> int | None:
         """First of ``count`` strided header words with no ``mask`` bit.
 
-        Accelerated over the volatile image in one local loop; counts
-        the identical per-word read events the reference loop would."""
+        Accelerated over the volatile image — one vectorized filter when
+        numpy is available and the scan is long enough to amortize the
+        setup, a local byte loop otherwise; either way it reports the
+        identical per-word read events the reference loop would."""
         if count <= 0:
             return None
         if addr < 0 or stride < 8 or addr + (count - 1) * stride + 8 > self.size:
             raise IndexError(
                 f"scan [{addr}, +{stride}*{count}] outside region of size {self.size}"
             )
-        volatile = self._volatile
-        unpack = _U64.unpack_from
         found = None
         probed = count
+        if self._np is not None and count >= _NP_MIN_SCAN:
+            headers = self._np_strided_headers(addr, stride, count)
+            if headers is not None:
+                hits = self._np.flatnonzero((headers & mask) == 0)
+                if hits.size:
+                    found = int(hits[0])
+                    probed = found + 1
+                stats = self.stats
+                stats.reads += probed
+                stats.bytes_read += 8 * probed
+                return found
+        volatile = self._volatile
+        unpack = _U64.unpack_from
         for i in range(count):
             if not unpack(volatile, addr)[0] & mask:
                 found, probed = i, i + 1
@@ -463,9 +579,22 @@ class RawBackend:
             raise IndexError(
                 f"scan [{addr}, +{stride}*{count}] outside region of size {self.size}"
             )
-        volatile = self._volatile
         found = None
         probed = count
+        if self._np is not None and count >= _NP_MIN_SCAN:
+            match = self._np_match_vector(
+                addr, stride, count, key, mask=mask, key_offset=key_offset
+            )
+            if match is not None:
+                hits = self._np.flatnonzero(match)
+                if hits.size:
+                    found = int(hits[0])
+                    probed = found + 1
+                stats = self.stats
+                stats.reads += probed
+                stats.bytes_read += size * probed
+                return found
+        volatile = self._volatile
         for i in range(count):
             if volatile[addr] & mask and (
                 volatile[addr + key_offset : addr + size] == key
@@ -477,6 +606,289 @@ class RawBackend:
         stats.reads += probed
         stats.bytes_read += size * probed
         return found
+
+    def _np_match_vector(
+        self,
+        addr: int,
+        stride: int,
+        count: int,
+        key: bytes,
+        *,
+        mask: int,
+        key_offset: int,
+    ):
+        """Vectorized occupied-and-stores-key boolean vector over a
+        strided window, or None when the geometry defeats both the u64
+        fast path and the generic 2D view (``mask`` beyond the low
+        byte). The common cell layout (8-byte header, 8-byte key,
+        8-aligned stride) compares whole key words in one pass."""
+        np = self._np
+        if mask >= 256:
+            return None
+        if len(key) == 8 and key_offset == 8 and not (addr % 8 or stride % 8):
+            step = stride // 8
+            word = addr // 8
+            stop = word + (count - 1) * step + 1
+            u64 = self._np_u64
+            headers = u64[word:stop:step]
+            keys = u64[word + 1 : stop + 1 : step]
+            return ((headers & mask) != 0) & (keys == int.from_bytes(key, "little"))
+        size = key_offset + len(key)
+        window = self._np_u8[addr : addr + (count - 1) * stride + size]
+        rows = np.lib.stride_tricks.as_strided(
+            window, shape=(count, size), strides=(stride, 1)
+        )
+        occupied = (rows[:, 0] & mask) != 0
+        wanted = np.frombuffer(key, dtype=np.uint8)
+        return occupied & (rows[:, key_offset:] == wanted).all(axis=1)
+
+    def scan_occupied_bitmap(
+        self, addr: int, stride: int, count: int, mask: int = 1
+    ) -> int:
+        """Bitmap of the ``mask`` bit over ``count`` strided header
+        words; full scan, one read event per word (see the reference
+        implementation on :class:`SimBackend`)."""
+        if count <= 0:
+            return 0
+        if addr < 0 or stride < 8 or addr + (count - 1) * stride + 8 > self.size:
+            raise IndexError(
+                f"scan [{addr}, +{stride}*{count}] outside region of size {self.size}"
+            )
+        stats = self.stats
+        stats.reads += count
+        stats.bytes_read += 8 * count
+        np = self._np
+        if np is not None and count >= _NP_MIN_SCAN and mask < 256:
+            bits = (
+                self._np_u8[addr : addr + (count - 1) * stride + 1 : stride] & mask
+            ) != 0
+            return int.from_bytes(
+                np.packbits(bits, bitorder="little").tobytes(), "little"
+            )
+        volatile = self._volatile
+        bitmap = 0
+        if mask < 256:
+            for i in range(count):
+                if volatile[addr] & mask:
+                    bitmap |= 1 << i
+                addr += stride
+            return bitmap
+        unpack = _U64.unpack_from
+        for i in range(count):
+            if unpack(volatile, addr)[0] & mask:
+                bitmap |= 1 << i
+            addr += stride
+        return bitmap
+
+    def scan_occupied_at(self, addrs, mask: int = 1) -> int:
+        """Gather occupancy bitmap over explicit header addresses; full
+        scan, one read event per address."""
+        n = len(addrs)
+        if n == 0:
+            return 0
+        stats = self.stats
+        stats.reads += n
+        stats.bytes_read += 8 * n
+        np = self._np
+        if np is not None and n >= _NP_MIN_SCAN and mask < 256:
+            index = np.asarray(addrs, dtype=np.intp)
+            bits = (self._np_u8[index] & mask) != 0
+            return int.from_bytes(
+                np.packbits(bits, bitorder="little").tobytes(), "little"
+            )
+        volatile = self._volatile
+        bitmap = 0
+        if mask < 256:
+            for i, addr in enumerate(addrs):
+                if volatile[addr] & mask:
+                    bitmap |= 1 << i
+            return bitmap
+        unpack = _U64.unpack_from
+        for i, addr in enumerate(addrs):
+            if unpack(volatile, addr)[0] & mask:
+                bitmap |= 1 << i
+        return bitmap
+
+    def scan_match_many(
+        self,
+        addr: int,
+        stride: int,
+        count: int,
+        keys,
+        *,
+        mask: int = 1,
+        key_offset: int = 8,
+    ) -> list[int | None]:
+        """Multi-key :meth:`scan_match` over one strided window; each
+        key's scan is individually accelerated and events concatenate
+        in key order exactly as the reference does."""
+        return [
+            self.scan_match(
+                addr, stride, count, key, mask=mask, key_offset=key_offset
+            )
+            for key in keys
+        ]
+
+    def scan_probe(
+        self,
+        addr: int,
+        stride: int,
+        count: int,
+        key: bytes,
+        *,
+        mask: int = 1,
+        key_offset: int = 8,
+    ) -> tuple[int, bool] | None:
+        """First strided cell that is empty or stores ``key`` (the
+        linear-probing lookup), with reference read accounting."""
+        if count <= 0:
+            return None
+        size = key_offset + len(key)
+        if addr < 0 or stride < 8 or addr + (count - 1) * stride + size > self.size:
+            raise IndexError(
+                f"scan [{addr}, +{stride}*{count}] outside region of size {self.size}"
+            )
+        result = None
+        probed = count
+        if self._np is not None and count >= _NP_MIN_SCAN and mask < 256:
+            np = self._np
+            empty = (
+                self._np_u8[addr : addr + (count - 1) * stride + 1 : stride] & mask
+            ) == 0
+            match = self._np_match_vector(
+                addr, stride, count, key, mask=mask, key_offset=key_offset
+            )
+            hits = np.flatnonzero(empty | match)
+            if hits.size:
+                first = int(hits[0])
+                result = (first, bool(match[first]))
+                probed = first + 1
+            stats = self.stats
+            stats.reads += probed
+            stats.bytes_read += size * probed
+            return result
+        volatile = self._volatile
+        for i in range(count):
+            if not volatile[addr] & mask:
+                result, probed = (i, False), i + 1
+                break
+            if volatile[addr + key_offset : addr + size] == key:
+                result, probed = (i, True), i + 1
+                break
+            addr += stride
+        stats = self.stats
+        stats.reads += probed
+        stats.bytes_read += size * probed
+        return result
+
+    def scan_clear_at(self, addrs, mask: int = 1) -> int | None:
+        """First explicit header address with no ``mask`` bit (the
+        path-hashing insert probe), with reference read accounting."""
+        n = len(addrs)
+        if n == 0:
+            return None
+        found = None
+        probed = n
+        np = self._np
+        if np is not None and n >= _NP_MIN_SCAN and mask < 256:
+            index = np.asarray(addrs, dtype=np.intp)
+            hits = np.flatnonzero((self._np_u8[index] & mask) == 0)
+            if hits.size:
+                found = int(hits[0])
+                probed = found + 1
+        else:
+            volatile = self._volatile
+            unpack = _U64.unpack_from
+            for i, addr in enumerate(addrs):
+                if not unpack(volatile, addr)[0] & mask:
+                    found, probed = i, i + 1
+                    break
+        stats = self.stats
+        stats.reads += probed
+        stats.bytes_read += 8 * probed
+        return found
+
+    def scan_match_at(
+        self, addrs, key: bytes, *, mask: int = 1, key_offset: int = 8
+    ) -> int | None:
+        """First explicit address holding an occupied cell that stores
+        ``key`` (the path-hashing lookup probe)."""
+        n = len(addrs)
+        if n == 0:
+            return None
+        size = key_offset + len(key)
+        found = None
+        probed = n
+        np = self._np
+        if (
+            np is not None
+            and n >= _NP_MIN_SCAN
+            and mask < 256
+            and len(key) == 8
+            and key_offset == 8
+        ):
+            index = np.asarray(addrs, dtype=np.intp)
+            if not (index % 8).any():
+                occupied = (self._np_u8[index] & mask) != 0
+                keys = self._np_u64[(index + 8) >> 3]
+                hits = np.flatnonzero(
+                    occupied & (keys == int.from_bytes(key, "little"))
+                )
+                if hits.size:
+                    found = int(hits[0])
+                    probed = found + 1
+                stats = self.stats
+                stats.reads += probed
+                stats.bytes_read += size * probed
+                return found
+        volatile = self._volatile
+        for i, addr in enumerate(addrs):
+            if volatile[addr] & mask and (
+                volatile[addr + key_offset : addr + size] == key
+            ):
+                found, probed = i, i + 1
+                break
+        stats = self.stats
+        stats.reads += probed
+        stats.bytes_read += size * probed
+        return found
+
+    def scan_match_pairs(
+        self, pairs, *, mask: int = 1, key_offset: int = 8
+    ) -> list[bool]:
+        """Batched independent home-cell probes over ``(addr, key)``
+        pairs; full scan, one read event per pair."""
+        n = len(pairs)
+        if n == 0:
+            return []
+        np = self._np
+        if np is not None and n >= _NP_MIN_SCAN and mask < 256 and key_offset == 8:
+            keys = [key for _, key in pairs]
+            if all(len(key) == 8 for key in keys):
+                index = np.asarray([addr for addr, _ in pairs], dtype=np.intp)
+                if not (index % 8).any():
+                    occupied = (self._np_u8[index] & mask) != 0
+                    stored = self._np_u64[(index + 8) >> 3]
+                    wanted = np.frombuffer(b"".join(keys), dtype="<u8")
+                    out = (occupied & (stored == wanted)).tolist()
+                    stats = self.stats
+                    stats.reads += n
+                    stats.bytes_read += sum(8 + len(k) for k in keys)
+                    return out
+        volatile = self._volatile
+        out: list[bool] = []
+        total_bytes = 0
+        for addr, key in pairs:
+            size = key_offset + len(key)
+            total_bytes += size
+            out.append(
+                bool(volatile[addr] & mask)
+                and volatile[addr + key_offset : addr + size] == key
+            )
+        stats = self.stats
+        stats.reads += n
+        stats.bytes_read += total_bytes
+        return out
 
     # ------------------------------------------------------------------
     # persistence primitives

@@ -18,7 +18,11 @@ scheme's recovery, and check three oracles against a shadow dict:
   fully reflected (its persists had retired, so no schedule may lose it);
 - **atomicity** — the one in-flight operation is all-or-nothing: the
   recovered table equals the shadow state either before or after it,
-  never in between.
+  never in between. For an in-flight :class:`BatchOp` (a coalesced
+  multi-item commit) the contract is per item: any *subset* of the
+  batch's items may have survived, but each surviving item must carry
+  exactly its batch value — a batch is a set of individually-atomic
+  commits sharing flushes, not one jumbo transaction.
 
 At each boundary the crash itself is varied: besides the two extremes
 (drop every unflushed word / persist every unflushed word) the campaign
@@ -57,6 +61,26 @@ class Op:
     kind: str
     key: bytes
     value: bytes | None = None
+
+
+@dataclass(frozen=True)
+class BatchOp:
+    """One *batched* table operation — a coalesced multi-item commit
+    whose crash boundaries land inside the batch's shared flush window.
+    Campaign workloads must use fresh keys (not in the pre-fill, not
+    repeated) so the per-key atomicity oracle stays unambiguous."""
+
+    #: "put_many"
+    kind: str
+    #: the batch payload, in submission order
+    items: tuple[tuple[bytes, bytes], ...]
+
+
+def op_keys(op: "Op | BatchOp") -> tuple[bytes, ...]:
+    """Keys an op touches (one for scalar ops, all items for a batch)."""
+    if isinstance(op, BatchOp):
+        return tuple(key for key, _ in op.items)
+    return (op.key,)
 
 
 @dataclass(frozen=True)
@@ -229,7 +253,7 @@ class CampaignResult:
         return self.trace.events[: first - 1]
 
 
-def record_trace(harness: CrashHarness, ops: Sequence[Op]) -> WorkloadTrace:
+def record_trace(harness: CrashHarness, ops: Sequence[Op | BatchOp]) -> WorkloadTrace:
     """Run ``ops`` uncrashed on a fresh harness, recording the event log.
 
     Raises if any op does not take effect — campaign workloads must be
@@ -269,7 +293,7 @@ def record_trace(harness: CrashHarness, ops: Sequence[Op]) -> WorkloadTrace:
 
 
 def shadow_states(
-    ops: Sequence[Op], base: dict[bytes, bytes] | None = None
+    ops: Sequence[Op | BatchOp], base: dict[bytes, bytes] | None = None
 ) -> list[dict[bytes, bytes]]:
     """Expected table contents after each op prefix.
 
@@ -281,7 +305,10 @@ def shadow_states(
     states = [dict(base or {})]
     for op in ops:
         state = dict(states[-1])
-        if op.kind == "insert" or op.kind == "update":
+        if op.kind == "put_many":
+            for key, value in op.items:
+                state[key] = value
+        elif op.kind == "insert" or op.kind == "update":
             state[op.key] = op.value
         elif op.kind == "delete":
             state.pop(op.key, None)
@@ -354,7 +381,7 @@ def check_recovery(
     *,
     completed_state: dict[bytes, bytes],
     inflight_state: dict[bytes, bytes],
-    inflight_op: Op | None,
+    inflight_op: Op | BatchOp | None,
     structural: Sequence[str],
     event_index: int,
     schedule: str,
@@ -365,14 +392,20 @@ def check_recovery(
     ``completed_state`` is the shadow after every completed op;
     ``inflight_state`` is the shadow if the in-flight op had also
     applied (equal to ``completed_state`` when nothing was in flight).
+    The atomicity oracle is per affected key, which for a scalar op is
+    the classic all-or-nothing check and for an in-flight
+    :class:`BatchOp` admits any surviving subset of the batch's items —
+    each one either absent or carrying exactly its batch value.
     """
     violations = [
         Violation("invariant", event_index, schedule, op_index, problem)
         for problem in structural
     ]
-    inflight_key = inflight_op.key if inflight_op is not None else None
+    inflight_keys = (
+        frozenset(op_keys(inflight_op)) if inflight_op is not None else frozenset()
+    )
     for key, value in completed_state.items():
-        if key == inflight_key:
+        if key in inflight_keys:
             continue
         got = recovered.get(key)
         if got != value:
@@ -384,21 +417,21 @@ def check_recovery(
                 )
             )
     for key in recovered:
-        if key not in completed_state and key != inflight_key:
+        if key not in completed_state and key not in inflight_keys:
             violations.append(
                 Violation(
                     "atomicity", event_index, schedule, op_index,
                     f"phantom key {key.hex()} surfaced by the crash",
                 )
             )
-    if inflight_key is not None:
-        got = recovered.get(inflight_key)
-        legal = {completed_state.get(inflight_key), inflight_state.get(inflight_key)}
+    for key in sorted(inflight_keys):
+        got = recovered.get(key)
+        legal = {completed_state.get(key), inflight_state.get(key)}
         if got not in legal:
             violations.append(
                 Violation(
                     "atomicity", event_index, schedule, op_index,
-                    f"in-flight {inflight_op.kind} of {inflight_key.hex()} "
+                    f"in-flight {inflight_op.kind} key {key.hex()} "
                     f"partially visible (found {got.hex() if got else None})",
                 )
             )
@@ -407,7 +440,7 @@ def check_recovery(
 
 def _replay(
     factory: Callable[[], CrashHarness],
-    ops: Sequence[Op],
+    ops: Sequence[Op | BatchOp],
     event_index: int,
     schedule: CrashSchedule,
 ) -> tuple[CrashHarness, int, tuple[int, ...]]:
@@ -434,7 +467,7 @@ def _replay(
 
 def run_campaign(
     factory: Callable[[], CrashHarness],
-    ops: Sequence[Op],
+    ops: Sequence[Op | BatchOp],
     *,
     subset_budget: int = 2,
     seed: int = 0,

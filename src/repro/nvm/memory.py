@@ -438,6 +438,128 @@ class NVMRegion:
             addr += stride
         return None
 
+    def scan_occupied_bitmap(
+        self, addr: int, stride: int, count: int, mask: int = 1
+    ) -> int:
+        """Bitmap of the ``mask`` bit over ``count`` strided header words:
+        bit ``i`` of the result is set iff ``word(addr + i*stride) & mask``.
+
+        Reference semantics: one :meth:`read_u64` per header word — a
+        *full* scan with no early exit, which is what batch planners need
+        (they want the whole group's occupancy in one call)."""
+        read_u64 = self.read_u64
+        bitmap = 0
+        for i in range(count):
+            if read_u64(addr) & mask:
+                bitmap |= 1 << i
+            addr += stride
+        return bitmap
+
+    def scan_occupied_at(self, addrs, mask: int = 1) -> int:
+        """Gather variant of :meth:`scan_occupied_bitmap`: bit ``i`` of
+        the result reflects the header word at ``addrs[i]``.
+
+        Reference semantics: one :meth:`read_u64` per address, full scan."""
+        read_u64 = self.read_u64
+        bitmap = 0
+        for i, addr in enumerate(addrs):
+            if read_u64(addr) & mask:
+                bitmap |= 1 << i
+        return bitmap
+
+    def scan_match_many(
+        self,
+        addr: int,
+        stride: int,
+        count: int,
+        keys,
+        *,
+        mask: int = 1,
+        key_offset: int = 8,
+    ) -> list[int | None]:
+        """Multi-key :meth:`scan_match` over one strided window: for each
+        key in ``keys``, the index of its first matching cell (or None).
+
+        Reference semantics are the concatenation of the per-key
+        :meth:`scan_match` event sequences, in key order."""
+        return [
+            self.scan_match(
+                addr, stride, count, key, mask=mask, key_offset=key_offset
+            )
+            for key in keys
+        ]
+
+    def scan_probe(
+        self,
+        addr: int,
+        stride: int,
+        count: int,
+        key: bytes,
+        *,
+        mask: int = 1,
+        key_offset: int = 8,
+    ) -> tuple[int, bool] | None:
+        """First of ``count`` strided cells that is *empty* (header byte 0
+        has no ``mask`` bit) or occupied and storing ``key``: returns
+        ``(index, matched)``, or None when every cell is occupied by
+        other keys. The linear-probing lookup pattern.
+
+        Reference semantics: one ``read`` of header+key per probed cell,
+        stopping at the empty-or-match cell."""
+        size = key_offset + len(key)
+        for i in range(count):
+            raw = self.read(addr, size)
+            if not raw[0] & mask:
+                return i, False
+            if raw[key_offset:] == key:
+                return i, True
+            addr += stride
+        return None
+
+    def scan_clear_at(self, addrs, mask: int = 1) -> int | None:
+        """Gather variant of :meth:`scan_clear_u64`: index of the first
+        address in ``addrs`` whose header word has no ``mask`` bit.
+
+        Reference semantics: one :meth:`read_u64` per probed address,
+        stopping at the first clear one — the path-hashing insert probe,
+        whose candidate cells live in separate per-level arrays."""
+        read_u64 = self.read_u64
+        for i, addr in enumerate(addrs):
+            if not read_u64(addr) & mask:
+                return i
+        return None
+
+    def scan_match_at(
+        self, addrs, key: bytes, *, mask: int = 1, key_offset: int = 8
+    ) -> int | None:
+        """Gather variant of :meth:`scan_match`: index of the first
+        address in ``addrs`` holding an occupied cell that stores ``key``.
+
+        Reference semantics: one ``read`` of header+key per probed
+        address, stopping at the match."""
+        size = key_offset + len(key)
+        for i, addr in enumerate(addrs):
+            raw = self.read(addr, size)
+            if raw[0] & mask and raw[key_offset:] == key:
+                return i
+        return None
+
+    def scan_match_pairs(
+        self, pairs, *, mask: int = 1, key_offset: int = 8
+    ) -> list[bool]:
+        """Independent occupied-and-matches tests over ``(addr, key)``
+        pairs; element ``i`` of the result is True iff the cell at
+        ``pairs[i][0]`` is occupied and stores ``pairs[i][1]``.
+
+        Reference semantics: one ``read`` of header+key per pair (a full
+        scan — every pair is tested). This is the batched level-1 probe:
+        one call filters a whole batch's home cells."""
+        out: list[bool] = []
+        for addr, key in pairs:
+            raw = self.read(addr, key_offset + len(key))
+            out.append(bool(raw[0] & mask) and raw[key_offset:] == key)
+        return out
+
     # ------------------------------------------------------------------
     # persistence primitives
 

@@ -21,7 +21,7 @@ from typing import Iterator
 from repro.nvm.backend import MemoryBackend
 from repro.nvm.memory import CACHELINE
 from repro.tables.base import PersistentHashTable
-from repro.tables.cell import ItemSpec
+from repro.tables.cell import HEADER_SIZE, OCCUPIED_BIT, ItemSpec
 from repro.tables.wal import UndoLog
 
 
@@ -69,15 +69,21 @@ class LinearProbingTable(PersistentHashTable):
         self._begin_op()
         if tr is not None:
             tr.push("probe")
+        # The wrapped cluster is at most two contiguous runs, so one
+        # vectorized clear-scan per run replaces the per-cell loop; the
+        # reference implementation probes cell by cell with early exit,
+        # so the event sequence is unchanged.
+        cell_size = codec.cell_size
         found = None
-        for step in range(n):
-            idx = start + step
-            if idx >= n:
-                idx -= n
-            addr = self._addr(idx)
-            if not codec.is_occupied(region, addr):
-                found = (step, addr)
-                break
+        i = region.scan_clear_u64(
+            self._addr(start), cell_size, n - start, OCCUPIED_BIT
+        )
+        if i is not None:
+            found = (i, self._addr(start + i))
+        elif start:
+            i = region.scan_clear_u64(self._base, cell_size, start, OCCUPIED_BIT)
+            if i is not None:
+                found = (n - start + i, self._addr(i))
         if tr is not None:
             tr.pop()
         if found is None:
@@ -104,19 +110,44 @@ class LinearProbingTable(PersistentHashTable):
         start = self._slot(key)
         if tr is not None:
             tr.push("probe")
+        # Vectorized empty-or-match probe over the (at most two) runs of
+        # the wrapped cluster; scan_probe stops at the first empty cell
+        # or key hit exactly like the scalar loop did, reading
+        # header+key per probed cell.
+        cell_size = codec.cell_size
         result = None
         probed = 0
-        for step in range(n):
-            idx = start + step
-            if idx >= n:
-                idx -= n
-            occupied, cell_key = codec.probe(region, self._addr(idx))
-            probed = step + 1
-            if not occupied:
-                break
-            if cell_key == key:
-                result = idx
-                break
+        hit = region.scan_probe(
+            self._addr(start),
+            cell_size,
+            n - start,
+            key,
+            mask=OCCUPIED_BIT,
+            key_offset=HEADER_SIZE,
+        )
+        if hit is not None:
+            i, matched = hit
+            probed = i + 1
+            if matched:
+                result = start + i
+        else:
+            probed = n - start
+            if start:
+                hit = region.scan_probe(
+                    self._base,
+                    cell_size,
+                    start,
+                    key,
+                    mask=OCCUPIED_BIT,
+                    key_offset=HEADER_SIZE,
+                )
+                if hit is not None:
+                    i, matched = hit
+                    probed += i + 1
+                    if matched:
+                        result = i
+                else:
+                    probed = n
         if tr is not None:
             tr.pop()
         if mx is not None:

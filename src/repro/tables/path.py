@@ -27,7 +27,7 @@ from typing import Iterator
 from repro.nvm.backend import MemoryBackend
 from repro.nvm.memory import CACHELINE
 from repro.tables.base import PersistentHashTable
-from repro.tables.cell import ItemSpec
+from repro.tables.cell import HEADER_SIZE, OCCUPIED_BIT, ItemSpec
 from repro.tables.wal import UndoLog
 
 
@@ -103,18 +103,19 @@ class PathHashingTable(PersistentHashTable):
     # ------------------------------------------------------------------
 
     def insert(self, key: bytes, value: bytes) -> bool:
-        codec, region = self.codec, self.region
+        region = self.region
         tr, mx = self.tracer, self.metrics
         self._begin_op()
         if tr is not None:
             tr.push("path_probe")
-        found = None
-        probed = 0
-        for addr in self._path_cells(key):
-            probed += 1
-            if not codec.is_occupied(region, addr):
-                found = addr
-                break
+        # The candidate cells are scattered across the level arrays, so
+        # the vectorized form is a gather: one clear-scan over the
+        # precomputed address list, early exit at the first free cell
+        # (one header read per probed cell, as before).
+        addrs = list(self._path_cells(key))
+        idx = region.scan_clear_at(addrs, OCCUPIED_BIT)
+        found = None if idx is None else addrs[idx]
+        probed = len(addrs) if idx is None else idx + 1
         if tr is not None:
             tr.pop()
         if found is None:
@@ -127,18 +128,18 @@ class PathHashingTable(PersistentHashTable):
         return True
 
     def _find(self, key: bytes) -> int | None:
-        codec, region = self.codec, self.region
+        region = self.region
         tr, mx = self.tracer, self.metrics
         if tr is not None:
             tr.push("path_probe")
-        found = None
-        probed = 0
-        for addr in self._path_cells(key):
-            occupied, cell_key = codec.probe(region, addr)
-            probed += 1
-            if occupied and cell_key == key:
-                found = addr
-                break
+        # Gathered match-scan down the path: early exit on hit, one
+        # header+key read per probed cell — the scalar loop's events.
+        addrs = list(self._path_cells(key))
+        idx = region.scan_match_at(
+            addrs, key, mask=OCCUPIED_BIT, key_offset=HEADER_SIZE
+        )
+        found = None if idx is None else addrs[idx]
+        probed = len(addrs) if idx is None else idx + 1
         if tr is not None:
             tr.pop()
         if mx is not None:

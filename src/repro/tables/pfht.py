@@ -25,7 +25,7 @@ from typing import Iterator
 from repro.nvm.backend import MemoryBackend
 from repro.nvm.memory import CACHELINE
 from repro.tables.base import PersistentHashTable
-from repro.tables.cell import ItemSpec
+from repro.tables.cell import HEADER_SIZE, OCCUPIED_BIT, ItemSpec
 from repro.tables.wal import UndoLog
 
 
@@ -86,11 +86,15 @@ class PFHTTable(PersistentHashTable):
     # ------------------------------------------------------------------
 
     def _empty_slot(self, bucket: int) -> int | None:
-        codec, region = self.codec, self.region
-        for slot in range(self.bucket_size):
-            if not codec.is_occupied(region, self._cell_addr(bucket, slot)):
-                return slot
-        return None
+        """First free slot of ``bucket``: one clear-scan over the
+        bucket's contiguous cells (events identical to the per-slot
+        loop — the reference scan probes cell by cell, early exit)."""
+        return self.region.scan_clear_u64(
+            self._cell_addr(bucket, 0),
+            self.codec.cell_size,
+            self.bucket_size,
+            OCCUPIED_BIT,
+        )
 
     def insert(self, key: bytes, value: bytes) -> bool:
         mx = self.metrics
@@ -162,36 +166,52 @@ class PFHTTable(PersistentHashTable):
         buckets and then the stash linearly."""
         codec, region = self.codec, self.region
         tr, mx = self.tracer, self.metrics
+        cell_size = codec.cell_size
         b1, b2 = self._buckets_of(key)
         buckets = (b1,) if b1 == b2 else (b1, b2)
         probed = 0
         if tr is not None:
             tr.push("bucket_probe")
+        # One match-scan per bucket (the group-filter primitive at
+        # bucket granularity): early exit on hit, full bucket on miss,
+        # header+key read per probed cell — the scalar loop's events.
         for bucket in buckets:
-            for slot in range(self.bucket_size):
-                addr = self._cell_addr(bucket, slot)
-                occupied, cell_key = codec.probe(region, addr)
-                probed += 1
-                if occupied and cell_key == key:
-                    if tr is not None:
-                        tr.pop()
-                    if mx is not None:
-                        mx.histogram("pfht.find_probe_cells").record(probed)
-                    return addr
-        if tr is not None:
-            tr.pop()
-            tr.push("stash_probe")
-        for slot in range(self.stash_cells):
-            addr = self._stash_addr(slot)
-            occupied, cell_key = codec.probe(region, addr)
-            probed += 1
-            if occupied and cell_key == key:
+            slot = region.scan_match(
+                self._cell_addr(bucket, 0),
+                cell_size,
+                self.bucket_size,
+                key,
+                mask=OCCUPIED_BIT,
+                key_offset=HEADER_SIZE,
+            )
+            if slot is not None:
+                probed += slot + 1
                 if tr is not None:
                     tr.pop()
                 if mx is not None:
                     mx.histogram("pfht.find_probe_cells").record(probed)
-                    mx.counter("pfht.stash_hits").inc()
-                return addr
+                return self._cell_addr(bucket, slot)
+            probed += self.bucket_size
+        if tr is not None:
+            tr.pop()
+            tr.push("stash_probe")
+        slot = region.scan_match(
+            self._stash_base,
+            cell_size,
+            self.stash_cells,
+            key,
+            mask=OCCUPIED_BIT,
+            key_offset=HEADER_SIZE,
+        )
+        if slot is not None:
+            probed += slot + 1
+            if tr is not None:
+                tr.pop()
+            if mx is not None:
+                mx.histogram("pfht.find_probe_cells").record(probed)
+                mx.counter("pfht.stash_hits").inc()
+            return self._stash_addr(slot)
+        probed += self.stash_cells
         if tr is not None:
             tr.pop()
         if mx is not None:

@@ -72,6 +72,28 @@ def test_bulk_load_reports_overflow():
         assert k not in placed
 
 
+def test_bulk_load_prescan_uses_two_range_peeks(monkeypatch):
+    """The occupancy pre-scan reads each level array once — two range
+    peeks total, never one peek per cell (pinning the fix for the
+    per-cell peek storm)."""
+    region, table = build()
+    for k, v in random_items(60, seed=8):
+        table.insert(k, v)
+    calls: list[tuple[int, int]] = []
+    orig = type(region).peek_volatile
+
+    def counting_peek(self, addr, size):
+        calls.append((addr, size))
+        return orig(self, addr, size)
+
+    monkeypatch.setattr(type(region), "peek_volatile", counting_peek)
+    bulk_load(table, random_items(100, seed=9))
+    assert len(calls) == 2
+    # and they are *range* reads covering the level arrays, not cells
+    cell_size = table.codec.cell_size
+    assert all(size == cell_size * table.layout.n_cells_level for _, size in calls)
+
+
 def test_bulk_load_empty():
     _, table = build()
     assert bulk_load(table, []) == []

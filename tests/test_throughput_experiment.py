@@ -1,0 +1,75 @@
+"""Tests for the wall-clock throughput experiment."""
+
+from __future__ import annotations
+
+from repro.bench.config import SCALES
+from repro.bench.experiments.throughput import (
+    ThroughputSpec,
+    run,
+    run_throughput_spec,
+    throughput_specs,
+)
+
+TINY = ThroughputSpec(total_cells=256, group_size=16, seed=3)
+
+
+def test_spec_roundtrip():
+    spec = ThroughputSpec(scheme="group", backend="sim", batch=64, seed=9)
+    assert ThroughputSpec.from_dict(spec.to_dict()) == spec
+    assert spec.label == "group/sim b64"
+    assert TINY.label == "group/raw"
+
+
+def test_executor_phase_accounting():
+    cell = run_throughput_spec(TINY)
+    n = int(256 * TINY.load_factor)
+    assert cell["n_items"] == n
+    assert cell["inserted"] == cell["fill"]["ops"] == n
+    assert cell["hits"] == cell["query"]["ops"] == n  # every key findable
+    assert cell["deleted"] == cell["delete"]["ops"] == n // 2
+    for phase in ("fill", "query", "delete"):
+        assert cell[phase]["wall_ops_per_s"] > 0
+        assert cell[phase]["sim_ns_per_op"] == 0.0  # raw backend: no model
+    assert cell["fill"]["flushes"] > 0
+
+
+def test_batch_and_scalar_cells_agree_on_everything_but_time():
+    """Same spec modulo batch size → same logical outcome, fewer
+    flushes/fences; only the wall-clock numbers may differ."""
+    scalar = run_throughput_spec(TINY)
+    from dataclasses import replace
+
+    batched = run_throughput_spec(replace(TINY, batch=16))
+    for field in ("n_items", "inserted", "hits", "deleted"):
+        assert batched[field] == scalar[field]
+    assert batched["fill"]["flushes"] < scalar["fill"]["flushes"]
+    assert batched["fill"]["fences"] < scalar["fill"]["fences"]
+    assert batched["delete"]["fences"] < scalar["delete"]["fences"]
+
+
+def test_sim_cells_report_simulated_latency():
+    from dataclasses import replace
+
+    cell = run_throughput_spec(replace(TINY, backend="sim"))
+    assert cell["fill"]["sim_ns_per_op"] > 0
+    assert cell["query"]["sim_ns_per_op"] > 0
+
+
+def test_grid_shape():
+    specs = throughput_specs(SCALES["tiny"], seed=42)
+    assert len(specs) == len(set(specs)) == 8
+    schemes = {(s.scheme, s.backend, s.batch) for s in specs}
+    assert ("group", "raw", 0) in schemes and ("group", "raw", 512) in schemes
+    assert ("linear", "sim", 0) in schemes
+    # batch cells only exist for the scheme with a batch API
+    assert all(s.scheme == "group" for s in specs if s.batch)
+
+
+def test_run_renders_report_and_data():
+    result = run(SCALES["tiny"], seed=42)
+    assert result.name == "throughput"
+    assert "fill_ops_s" in result.text
+    assert len(result.data["cells"]) == 8
+    cell = result.data["cells"][0]
+    assert cell["spec"]["scheme"] == "group"
+    assert {"fill", "query", "delete"} <= set(cell)
