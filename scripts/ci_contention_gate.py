@@ -1,0 +1,103 @@
+"""CI gate over a contention experiment's JSON report.
+
+Reads the ``--json`` dump of ``python -m repro.bench contention`` and
+enforces the concurrency layer's contract:
+
+- **coverage floor** — the grid must span at least
+  ``--min-client-counts`` distinct client counts (so a shrunken grid
+  cannot pass by measuring a single point), and every cell must report
+  a positive throughput and a positive p99 latency;
+- **zero lost updates** — the scheduler's shadow model linearizes every
+  committed op in physical commit order; any lost update or
+  linearizability divergence (``check_failures``) is printed and fails
+  the job;
+- **bounded aborts** — optimistic readers may abort and retry under
+  contention, but the per-cell abort rate (aborts per committed op)
+  must stay under ``--max-abort-rate``: livelock or a broken
+  lock/validate protocol shows up here long before it corrupts data;
+- **completeness** — every cell must commit every op it issued
+  (``failed_ops == 0``), so the shadow check cannot be trivially green
+  by dropping work.
+
+Usage::
+
+    python scripts/ci_contention_gate.py report.json \
+        [--min-client-counts 2] [--max-abort-rate 5.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate one contention JSON report; 0 = gate passes."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    parser.add_argument("--min-client-counts", type=int, default=2)
+    parser.add_argument("--max-abort-rate", type=float, default=5.0)
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        dump = json.load(fh)
+    grid = dump["contention"]
+
+    failed = False
+    counts: set[int] = set()
+    for cell in grid["cells"]:
+        clients = cell["clients"]
+        counts.add(clients)
+        label = f"{clients} client(s)"
+        problems: list[str] = []
+        if cell["lost_updates"]:
+            problems.append(f"{cell['lost_updates']} lost update(s)")
+        if cell["check_failures"]:
+            problems.append(
+                f"{len(cell['check_failures'])} shadow-check failure(s): "
+                f"{cell['check_failures'][:3]}"
+            )
+        if cell["failed_ops"]:
+            problems.append(f"{cell['failed_ops']} op(s) failed to commit")
+        if not cell["throughput_kops"] > 0:
+            problems.append("no throughput reported")
+        if not cell["total"]["p99"] > 0:
+            problems.append("no p99 latency reported")
+        rate = cell["read_aborts"] / max(1, cell["committed"])
+        if rate > args.max_abort_rate:
+            problems.append(
+                f"abort rate {rate:.2f}/op exceeds {args.max_abort_rate}"
+            )
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"FAIL: {label}: {problem}")
+        else:
+            print(
+                f"ok: {label}: {cell['committed']} ops, "
+                f"{cell['throughput_kops']:.1f} kops/s, "
+                f"p99 {cell['total']['p99']:.0f} ns, "
+                f"{cell['read_aborts']} abort(s) ({rate:.2f}/op)"
+            )
+
+    if len(counts) < args.min_client_counts:
+        failed = True
+        print(
+            f"FAIL: only client counts {sorted(counts)} "
+            f"(need >= {args.min_client_counts} distinct)"
+        )
+    if not grid["ok"]:
+        failed = True
+        print("FAIL: experiment-level shadow check flag is not ok")
+    if not failed:
+        total = sum(cell["committed"] for cell in grid["cells"])
+        print(
+            f"gate passed: {len(counts)} client counts, {total} committed "
+            "ops, 0 lost updates, shadow checks clean"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,14 +16,19 @@ enforces the campaign's contract:
 - **batch coverage** — at least ``--min-batch-points`` crash
   boundaries must come from batched-insert cells (``spec.batch > 0``),
   whose workload commits through the coalesced ``put_many`` flush
-  window — proving batch coalescing never weakens recovery.
+  window — proving batch coalescing never weakens recovery;
+- **concurrent coverage** — at least ``--min-concurrent-points`` crash
+  boundaries must land between two different clients' in-flight ops
+  (multi-client cells, ``spec.clients > 0``, interleaved by the
+  deterministic scheduler) — proving recovery with concurrent work
+  outstanding.
 
 Usage::
 
     python scripts/ci_crashmatrix_gate.py report.json \
         [--min-points 200] [--min-schemes 2] \
         [--min-splits 3] [--min-split-points 1] \
-        [--min-batch-points 50]
+        [--min-batch-points 50] [--min-concurrent-points 10]
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-splits", type=int, default=3)
     parser.add_argument("--min-split-points", type=int, default=1)
     parser.add_argument("--min-batch-points", type=int, default=50)
+    parser.add_argument("--min-concurrent-points", type=int, default=10)
     args = parser.parse_args(argv)
 
     with open(args.report) as fh:
@@ -100,13 +106,26 @@ def main(argv: list[str] | None = None) -> int:
             f"FAIL: only {batch_points} crash points in batched-insert "
             f"cells (need >= {args.min_batch_points})"
         )
+    concurrent_points = sum(
+        cell.get("concurrent_points", 0) for cell in matrix["cells"]
+    )
+    if (
+        args.min_concurrent_points > 0
+        and concurrent_points < args.min_concurrent_points
+    ):
+        failed = True
+        print(
+            f"FAIL: only {concurrent_points} crash points between "
+            f"different clients' in-flight ops "
+            f"(need >= {args.min_concurrent_points})"
+        )
     if not failed:
         split_points = sum(c.get("split_points", 0) for c in matrix["cells"])
         print(
             f"gate passed: {matrix['total_points']} points, "
             f"{matrix['total_replays']} replays, {len(schemes)} schemes, "
             f"{split_points} mid-split points, {batch_points} batch points, "
-            "0 violations"
+            f"{concurrent_points} concurrent points, 0 violations"
         )
     return 1 if failed else 0
 

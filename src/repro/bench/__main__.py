@@ -21,6 +21,7 @@ from repro.bench.config import SCALES
 from repro.bench.experiments import (
     ablations,
     backends,
+    contention,
     crashmatrix,
     engine as engine_exp,
     fig2,
@@ -54,6 +55,7 @@ EXPERIMENTS = {
     "negative": negative.run,
     "backends": backends.run,
     "engine": engine_exp.run,
+    "contention": contention.run,
     "crashmatrix": crashmatrix.run,
     "profile": profile_exp.run,
     "throughput": throughput.run,
@@ -163,8 +165,8 @@ def main(argv: list[str] | None = None) -> int:
         names = [
             "fig2", "fig5", "fig6", "fig7", "fig8", "table3",
             "writes", "ablations", "sweep", "negative", "mixed",
-            "growth", "throughput", "crashmatrix", "profile",
-            "backends", "engine",
+            "growth", "contention", "throughput", "crashmatrix",
+            "profile", "backends", "engine",
         ]
 
     jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
@@ -206,11 +208,13 @@ def main(argv: list[str] | None = None) -> int:
             # the Chrome trace goes to its own file (it is an artifact
             # for a viewer, not part of the structured report)
             payload = {k: v for k, v in payload.items() if k != "chrome_trace"}
-            trace_path = (
-                os.path.splitext(args.json)[0] + ".trace.json"
-                if args.json
-                else "profile.trace.json"
-            )
+            # default scratch artifacts land under the gitignored out/
+            # directory, never at the repo root
+            if args.json:
+                trace_path = os.path.splitext(args.json)[0] + ".trace.json"
+            else:
+                os.makedirs("out", exist_ok=True)
+                trace_path = os.path.join("out", "profile.trace.json")
             with open(trace_path, "w") as fh:
                 json.dump(result.data["chrome_trace"], fh)
             print(

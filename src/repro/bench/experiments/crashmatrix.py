@@ -23,7 +23,11 @@ single-table recoverability — and a *grow* cell: a
 :class:`~repro.core.directory.DirectoryTable` under an insert-heavy
 workload that forces several segment splits inside the recorded window,
 so crash boundaries land mid-split and recovery must land on exactly
-the old or the new directory state.
+the old or the new directory state. A multi-client cell interleaves
+several logical clients under the deterministic scheduler of
+:mod:`repro.concurrency` and replays the serialized commit order, so
+crash boundaries also land *between two different clients' in-flight
+ops* — recovery is proven with concurrent work outstanding.
 """
 
 from __future__ import annotations
@@ -83,6 +87,12 @@ class CrashMatrixSpec:
     #: inside the coalesced flush window and the per-key atomicity
     #: oracle checks subset survival
     batch: int = 0
+    #: >0 = multi-client workload: ``n_ops`` total ops are split over
+    #: this many logical clients and interleaved by the deterministic
+    #: scheduler (:mod:`repro.concurrency`); the campaign replays the
+    #: serialized commit order and counts boundaries that land between
+    #: two different clients' in-flight ops
+    clients: int = 0
     seed: int = 42
 
     def to_dict(self) -> dict:
@@ -104,6 +114,8 @@ class CrashMatrixSpec:
             name += f" x{self.n_shards}"
         if self.batch:
             name += f" b{self.batch}"
+        if self.clients:
+            name += f" c{self.clients}"
         if self.backend != "raw":
             name += f" ({self.backend})"
         return name
@@ -172,6 +184,84 @@ def build_workload(
             shadow[key] = value
             ops.append(Op("update", key, value))
     return prefill, ops
+
+
+def build_concurrent_workload(
+    spec: CrashMatrixSpec,
+) -> tuple[dict[bytes, bytes], list[Op], frozenset[int]]:
+    """Deterministic multi-client workload for a ``clients > 0`` cell.
+
+    Each client gets its own insert-heavy stream over a *disjoint* key
+    slice (the low key byte is the client tag, so every op succeeds and
+    the shadow oracle stays unambiguous), the streams run under the
+    deterministic interleaver on a scratch harness, and the resulting
+    physical commit order — plus the set of ops whose simulated-clock
+    windows overlapped another client's in-flight op — becomes the
+    campaign workload. Contention is still real: different clients'
+    keys share lock stripes (groups) by hash collision, and every
+    boundary inside an overlapped op's event window fires while another
+    client's op is logically in flight."""
+    from repro.concurrency import ClientOp, run_concurrent
+
+    spec_fields = ItemSpec()
+    rng = random.Random((spec.seed << 8) ^ 0xC4A5)
+    prefill: dict[bytes, bytes] = {}
+    n_prefill = max(2, int(spec.prefill * spec.total_cells))
+    while len(prefill) < n_prefill:
+        # low byte 0xEE tags pre-fill keys (client tags are 1..clients)
+        key = ((rng.getrandbits(56) << 8) | 0xEE).to_bytes(
+            spec_fields.key_size, "little"
+        )
+        prefill.setdefault(
+            key, rng.getrandbits(64).to_bytes(spec_fields.value_size, "little")
+        )
+
+    per_client = max(1, spec.n_ops // spec.clients)
+    kinds = ("insert", "insert", "update", "insert", "delete", "insert")
+    streams: list[list[ClientOp]] = []
+    for client in range(spec.clients):
+        crng = random.Random((spec.seed << 8) ^ 0xCC ^ (client * 0x51))
+        own: list[tuple[bytes, bytes]] = []
+        ops: list[ClientOp] = []
+        for i in range(per_client):
+            kind = kinds[i % len(kinds)]
+            if kind != "insert" and not own:
+                kind = "insert"
+            if kind == "insert":
+                key = ((crng.getrandbits(56) << 8) | (client + 1)).to_bytes(
+                    spec_fields.key_size, "little"
+                )
+                value = crng.getrandbits(64).to_bytes(
+                    spec_fields.value_size, "little"
+                )
+                own.append((key, value))
+                ops.append(ClientOp("insert", key, value))
+            elif kind == "update":
+                index = crng.randrange(len(own))
+                value = crng.getrandbits(64).to_bytes(
+                    spec_fields.value_size, "little"
+                )
+                own[index] = (own[index][0], value)
+                ops.append(ClientOp("update", own[index][0], value))
+            else:
+                key, _ = own.pop(crng.randrange(len(own)))
+                ops.append(ClientOp("delete", key))
+        streams.append(ops)
+
+    # the scratch run: same construction as every replay, so the
+    # serialized commit order is exactly what the campaign re-executes
+    scratch = make_harness(spec, prefill)
+    result = run_concurrent(scratch.table, streams, seed=spec.seed)
+    if not result.ok or not all(r.ok for r in result.committed):
+        raise RuntimeError(
+            f"concurrent workload for {spec.label} did not apply cleanly: "
+            f"{result.check_failures[:3]}"
+        )
+    ops = [Op(r.op.kind, r.op.key, r.op.value) for r in result.committed]
+    concurrent = frozenset(
+        i for i, r in enumerate(result.committed) if r.concurrent
+    )
+    return prefill, ops, concurrent
 
 
 class TableCampaignHarness:
@@ -349,9 +439,19 @@ def run_crash_matrix_spec(spec: CrashMatrixSpec) -> dict:
     pool workers), so the result must round-trip through JSON
     unchanged: counts, violation dicts, and the minimal failing event
     prefix as ``[kind, addr, size]`` triples."""
-    prefill, ops = build_workload(spec)
+    concurrent: frozenset[int] = frozenset()
+    if spec.clients:
+        prefill, ops, concurrent = build_concurrent_workload(spec)
+    else:
+        prefill, ops = build_workload(spec)
+
+    def factory():
+        harness = make_harness(spec, prefill)
+        harness.concurrent_ops = concurrent
+        return harness
+
     result = run_campaign(
-        lambda: make_harness(spec, prefill),
+        factory,
         ops,
         subset_budget=spec.subset_budget,
         seed=spec.seed,
@@ -363,11 +463,13 @@ def run_crash_matrix_spec(spec: CrashMatrixSpec) -> dict:
         "backend": spec.backend,
         "n_shards": spec.n_shards,
         "batch": spec.batch,
+        "clients": spec.clients,
         "ops": result.n_ops,
         "events": result.trace.n_events,
         "points": result.points,
         "splits": result.trace.n_splits,
         "split_points": result.split_points,
+        "concurrent_points": result.concurrent_points,
         "replays": result.replays,
         "violations": [v.to_dict() for v in result.violations],
         "min_failing_prefix": (
@@ -454,6 +556,23 @@ def campaign_specs(
             seed=seed,
         )
     )
+    # the mid-interleaving cell: three logical clients run under the
+    # deterministic scheduler and the campaign replays the serialized
+    # commit order — crash boundaries inside an overlapped op's window
+    # fire while another client's op is logically in flight, proving
+    # recovery with concurrent in-flight ops (DESIGN.md decision 14)
+    specs.append(
+        CrashMatrixSpec(
+            scheme="group",
+            backend="raw",
+            total_cells=cells,
+            group_size=32,
+            n_ops=12 if quick else 18,
+            subset_budget=subset_budget,
+            clients=3,
+            seed=seed,
+        )
+    )
     # the split-in-progress cell: tiny segments + insert-heavy mix so
     # several splits happen inside the recorded window and the campaign
     # enumerates crash boundaries landing mid-split
@@ -490,10 +609,13 @@ def run(
     )
     cells = engine.run(specs)
 
-    columns = ["events", "points", "split_pts", "replays", "violations"]
+    columns = [
+        "events", "points", "split_pts", "conc_pts", "replays", "violations"
+    ]
     rows = []
     total_points = total_replays = total_violations = 0
     total_splits = total_split_points = total_batch_points = 0
+    total_concurrent_points = 0
     first_prefix: list | None = None
     for spec, cell in zip(specs, cells):
         rows.append((
@@ -502,6 +624,7 @@ def run(
                 "events": cell["events"],
                 "points": cell["points"],
                 "split_pts": cell["split_points"],
+                "conc_pts": cell["concurrent_points"],
                 "replays": cell["replays"],
                 "violations": len(cell["violations"]),
             },
@@ -511,6 +634,7 @@ def run(
         total_violations += len(cell["violations"])
         total_splits += cell["splits"]
         total_split_points += cell["split_points"]
+        total_concurrent_points += cell["concurrent_points"]
         if spec.batch:
             total_batch_points += cell["points"]
         if first_prefix is None and cell["min_failing_prefix"] is not None:
@@ -537,6 +661,11 @@ def run(
         "(boundaries inside coalesced put_many flush windows; any "
         "surviving subset must be per-item intact)"
     )
+    text += "\n" + format_ratio_note(
+        f"{total_concurrent_points} crash points landed between two "
+        "different clients' in-flight ops (recovery proven with "
+        "concurrent work outstanding)"
+    )
     if first_prefix is not None:
         text += "\n" + format_ratio_note(
             f"minimal failing prefix: {len(first_prefix)} event(s) "
@@ -553,6 +682,7 @@ def run(
         "total_splits": total_splits,
         "total_split_points": total_split_points,
         "total_batch_points": total_batch_points,
+        "total_concurrent_points": total_concurrent_points,
         "ok": total_violations == 0,
     }
     return ExperimentResult(

@@ -1,0 +1,123 @@
+"""Versioned stripe locks and fingerprint tags (the Dash recipe).
+
+One *stripe* is one lockable unit of a table — for the group hash table
+a stripe is a level-1/level-2 *group*, for other schemes a hash stripe
+(see :meth:`~repro.tables.base.PersistentHashTable.lock_stripes`). Each
+stripe carries:
+
+- a **version counter** with seqlock parity: even = free, odd = a
+  writer holds the stripe. Writers bump it on acquire and again on
+  release, so any completed write changes the version by 2 and an
+  in-progress write is visible as an odd snapshot;
+- a **fingerprint multiset**: one-byte tags of the keys resident in the
+  stripe. A reader whose key's tag is absent can declare a definite
+  miss without probing NVM at all; the surrounding version validation
+  makes the shortcut safe under concurrent writers.
+
+Everything here is *volatile by design* (Dash §3.1 makes the same
+argument): lock words never need to survive a crash — recovery simply
+reinitialises them — so none of this state lives in the simulated
+region and none of it perturbs persist-event traces or simulated
+costs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Sequence
+
+
+def fingerprint_of(key: bytes) -> int:
+    """One-byte fingerprint tag of ``key`` (a CRC-32 fold).
+
+    Deterministic across processes and ``PYTHONHASHSEED`` values, which
+    the replayable scheduler requires."""
+    return zlib.crc32(key) & 0xFF
+
+
+class VersionedLockTable:
+    """Per-stripe versioned locks plus fingerprint multisets.
+
+    The volatile half of the concurrency layer: writers
+    :meth:`try_acquire` / :meth:`release` (bumping the seqlock
+    version), optimistic readers :meth:`snapshot` and re-validate, and
+    both sides maintain/consult the per-stripe fingerprint tags."""
+
+    def __init__(self, n_stripes: int) -> None:
+        if n_stripes <= 0:
+            raise ValueError("n_stripes must be positive")
+        self.n_stripes = n_stripes
+        self._versions = [0] * n_stripes
+        self._owners = [-1] * n_stripes
+        self._fps: list[dict[int, int]] = [{} for _ in range(n_stripes)]
+        #: successful lock acquisitions
+        self.acquires = 0
+        #: acquisition attempts that found the stripe already held
+        self.contended = 0
+
+    def version(self, stripe: int) -> int:
+        """Current version of ``stripe`` (odd = writer in progress)."""
+        return self._versions[stripe]
+
+    def snapshot(self, stripes: Sequence[int]) -> tuple[int, ...]:
+        """Versions of ``stripes`` as one tuple — the optimistic
+        reader's begin/validate snapshot."""
+        versions = self._versions
+        return tuple(versions[s] for s in stripes)
+
+    def locked(self, stripe: int) -> bool:
+        """Whether a writer currently holds ``stripe``."""
+        return bool(self._versions[stripe] & 1)
+
+    def owner(self, stripe: int) -> int:
+        """Client id holding ``stripe`` (-1 when free)."""
+        return self._owners[stripe]
+
+    def try_acquire(self, stripe: int, owner: int) -> bool:
+        """Try to take ``stripe`` for writer ``owner``.
+
+        Returns False (and counts the contention) when another writer
+        holds it; on success the version turns odd."""
+        if self._versions[stripe] & 1:
+            self.contended += 1
+            return False
+        self._versions[stripe] += 1
+        self._owners[stripe] = owner
+        self.acquires += 1
+        return True
+
+    def release(self, stripe: int) -> None:
+        """Release a held stripe; the version turns even again."""
+        if not self._versions[stripe] & 1:
+            raise RuntimeError(f"release of unheld stripe {stripe}")
+        self._versions[stripe] += 1
+        self._owners[stripe] = -1
+
+    # ------------------------------------------------------------------
+    # fingerprint maintenance (writers) and probing (readers)
+
+    def fp_add(self, stripe: int, fp: int) -> None:
+        """Record one resident key with tag ``fp`` in ``stripe``."""
+        tags = self._fps[stripe]
+        tags[fp] = tags.get(fp, 0) + 1
+
+    def fp_remove(self, stripe: int, fp: int) -> None:
+        """Drop one resident key with tag ``fp`` from ``stripe``."""
+        tags = self._fps[stripe]
+        count = tags.get(fp, 0)
+        if count <= 0:
+            raise RuntimeError(
+                f"fingerprint multiset underflow (stripe {stripe}, tag {fp})"
+            )
+        if count == 1:
+            del tags[fp]
+        else:
+            tags[fp] = count - 1
+
+    def fp_may_contain(self, stripe: int, fp: int) -> bool:
+        """Whether ``stripe`` may hold a key tagged ``fp``.
+
+        False is definitive (no resident key carries the tag), so the
+        reader can skip the NVM probe entirely; True may be a
+        collision, in which case the probe settles it."""
+        return fp in self._fps[stripe]

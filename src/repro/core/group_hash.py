@@ -105,6 +105,20 @@ class GroupHashTable(PersistentHashTable):
         for i in range(layout.n_cells_level):
             yield layout.tab2_addr(codec, i)
 
+    @property
+    def n_lock_stripes(self) -> int:
+        """One lock stripe per *group* — the paper's natural locking
+        unit: stripe ``g`` covers level-1 cells ``[g*group_size,
+        (g+1)*group_size)`` and the level-2 group they spill into."""
+        return self.layout.n_cells_level // self.group_size
+
+    def lock_stripes(self, key: bytes) -> tuple[int, ...]:
+        """Every group ``key`` can land in (one per hash function),
+        sorted — a writer locks them all, an optimistic reader
+        validates them all."""
+        n_level, group_size = self.layout.n_cells_level, self.group_size
+        return tuple(sorted({h(key) % n_level // group_size for h in self._hashes}))
+
     # ------------------------------------------------------------------
     # Algorithm 1
 

@@ -342,8 +342,11 @@ class RawBackend:
         # Vectorized-scan views over the volatile image. numpy views
         # share memory with the bytearray (crash()'s in-place reset
         # keeps them valid); REPRO_NO_NUMPY=1 forces the pure-Python
-        # scan paths, which produce identical results and event counts.
-        self._np = None if os.environ.get("REPRO_NO_NUMPY") else _np
+        # scan paths, which produce identical results and event counts
+        # (REPRO_NO_NUMPY=0 or empty keeps the accelerated paths, so CI
+        # can matrix over both halves with explicit values).
+        no_numpy = os.environ.get("REPRO_NO_NUMPY", "0") not in ("", "0")
+        self._np = None if no_numpy else _np
         if self._np is not None:
             self._np_u8 = self._np.frombuffer(self._volatile, dtype=self._np.uint8)
             self._np_u64 = (

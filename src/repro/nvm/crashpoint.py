@@ -109,6 +109,12 @@ class WorkloadTrace:
     #: for fixed-size schemes. A crash boundary ``k`` with
     #: ``start < k <= end`` lands *while a split is in progress*.
     split_windows: list[tuple[int, int]] = field(default_factory=list)
+    #: event windows of ops that were *logically concurrent* with
+    #: another client's in-flight op — only populated when the harness
+    #: exposes ``concurrent_ops`` (a set of op indices, produced by the
+    #: deterministic multi-client interleaver). A crash boundary inside
+    #: such a window fires between two clients' in-flight ops.
+    concurrent_windows: list[tuple[int, int]] = field(default_factory=list)
 
     @property
     def n_events(self) -> int:
@@ -124,6 +130,11 @@ class WorkloadTrace:
         """Whether crash boundary ``event_index`` falls inside an op
         that was performing a segment split."""
         return any(s < event_index <= e for s, e in self.split_windows)
+
+    def in_concurrent_window(self, event_index: int) -> bool:
+        """Whether crash boundary ``event_index`` falls inside an op
+        that overlapped another client's in-flight op."""
+        return any(s < event_index <= e for s, e in self.concurrent_windows)
 
     def completed_ops(self, executed_events: int) -> int:
         """Number of ops fully applied after ``executed_events`` events."""
@@ -191,7 +202,10 @@ class CrashHarness(Protocol):
     # Optional: harnesses over growable (directory) schemes may expose a
     # ``split_count`` int property; :func:`record_trace` samples it
     # around every op to mark split-in-progress event windows on the
-    # trace. Fixed-size harnesses simply omit it.
+    # trace. Multi-client harnesses may expose ``concurrent_ops`` (a set
+    # of op indices that logically overlapped another client's in-flight
+    # op); their event windows become the trace's concurrent windows.
+    # Fixed-size / single-client harnesses simply omit both.
 
 
 @dataclass(frozen=True)
@@ -233,6 +247,10 @@ class CampaignResult:
     #: enumerated boundaries that landed inside a split-in-progress
     #: window (0 for fixed-size schemes)
     split_points: int = 0
+    #: enumerated boundaries that landed inside an op logically
+    #: concurrent with another client's in-flight op (0 for
+    #: single-client workloads)
+    concurrent_points: int = 0
     #: (boundary, schedule) replays actually executed
     replays: int = 0
     violations: list[Violation] = field(default_factory=list)
@@ -268,9 +286,15 @@ def record_trace(harness: CrashHarness, ops: Sequence[Op | BatchOp]) -> Workload
     backend.event_hook = hook
     op_end_events: list[int] = []
     split_windows: list[tuple[int, int]] = []
+    concurrent_windows: list[tuple[int, int]] = []
     # growable harnesses expose a split counter; sampling it around each
     # op marks the event windows where a split was in progress
     tracks_splits = getattr(harness, "split_count", None) is not None
+    # multi-client harnesses mark the ops that logically overlapped
+    # another client's in-flight op (the workload is the interleaver's
+    # serialized commit order); their event windows are where a crash
+    # fires between two clients' in-flight ops
+    concurrent_ops = getattr(harness, "concurrent_ops", None) or frozenset()
     try:
         for i, op in enumerate(ops):
             start = len(events)
@@ -283,12 +307,15 @@ def record_trace(harness: CrashHarness, ops: Sequence[Op | BatchOp]) -> Workload
             op_end_events.append(len(events))
             if tracks_splits and harness.split_count > splits_before:
                 split_windows.append((start, len(events)))
+            if i in concurrent_ops:
+                concurrent_windows.append((start, len(events)))
     finally:
         backend.event_hook = None
     return WorkloadTrace(
         events=events,
         op_end_events=op_end_events,
         split_windows=split_windows,
+        concurrent_windows=concurrent_windows,
     )
 
 
@@ -494,6 +521,8 @@ def run_campaign(
         result.points += 1
         if trace.in_split_window(event_index):
             result.split_points += 1
+        if trace.in_concurrent_window(event_index):
+            result.concurrent_points += 1
         # first replay discovers the boundary's dirty words (drop-all)
         harness, inflight, dirty = _replay(
             factory, ops, event_index, WordSubsetSchedule(frozenset())

@@ -193,6 +193,27 @@ class PersistentHashTable(abc.ABC):
     def capacity(self) -> int:
         """Total number of cells (the load-factor denominator)."""
 
+    # ------------------------------------------------------------------
+    # concurrency-control geometry (consumed by repro.concurrency)
+
+    @property
+    def n_lock_stripes(self) -> int:
+        """How many writer-lock stripes a concurrency layer should
+        allocate for this table. The default hashes keys over ~one
+        stripe per 64 cells; schemes with a natural locking unit (the
+        group table's groups) override this."""
+        return max(1, self.capacity // 64)
+
+    def lock_stripes(self, key: bytes) -> tuple[int, ...]:
+        """The lock stripes a writer must hold to mutate ``key``,
+        sorted ascending (ordered acquisition makes writer deadlock
+        impossible). The default is a single hash stripe; multi-choice
+        schemes override with every candidate location's stripe."""
+        h = self.__dict__.get("_lock_hash")
+        if h is None:
+            h = self._lock_hash = self.family.function(0)
+        return (h(key) % self.n_lock_stripes,)
+
     @abc.abstractmethod
     def _iter_cell_addrs(self) -> Iterator[int]:
         """Yield the address of every cell the scheme owns (all levels,

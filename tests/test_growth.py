@@ -150,34 +150,60 @@ def _run_gate(tmp_path: Path, cells: list[dict], **totals) -> tuple[int, str]:
     return proc.returncode, proc.stdout
 
 
-def _cell(scheme="group", splits=0, split_points=0, batch=0):
+def _cell(scheme="group", splits=0, split_points=0, batch=0, clients=0,
+          concurrent_points=0):
     return {
-        "spec": {"scheme": scheme, "backend": "raw", "n_shards": 0, "batch": batch},
+        "spec": {
+            "scheme": scheme, "backend": "raw", "n_shards": 0,
+            "batch": batch, "clients": clients,
+        },
         "points": 250,
         "replays": 400,
         "splits": splits,
         "split_points": split_points,
+        "concurrent_points": concurrent_points,
         "violations": [],
         "min_failing_prefix": None,
     }
 
 
 def test_gate_requires_a_split_in_progress_cell(tmp_path):
-    code, out = _run_gate(tmp_path, [_cell(batch=4)])
+    code, out = _run_gate(
+        tmp_path, [_cell(batch=4, clients=3, concurrent_points=40)]
+    )
     assert code == 1
     assert "no split-in-progress cell" in out
 
 
 def test_gate_requires_batch_coverage(tmp_path):
-    code, out = _run_gate(tmp_path, [_cell(), _cell(splits=3, split_points=12)])
+    code, out = _run_gate(
+        tmp_path,
+        [
+            _cell(clients=3, concurrent_points=40),
+            _cell(splits=3, split_points=12),
+        ],
+    )
     assert code == 1
     assert "batched-insert" in out
 
 
-def test_gate_passes_with_split_coverage(tmp_path):
+def test_gate_requires_concurrent_coverage(tmp_path):
     code, out = _run_gate(
         tmp_path, [_cell(batch=4), _cell(splits=3, split_points=12)]
+    )
+    assert code == 1
+    assert "in-flight" in out
+
+
+def test_gate_passes_with_split_coverage(tmp_path):
+    code, out = _run_gate(
+        tmp_path,
+        [
+            _cell(batch=4, clients=3, concurrent_points=40),
+            _cell(splits=3, split_points=12),
+        ],
     )
     assert code == 0
     assert "12 mid-split points" in out
     assert "250 batch points" in out
+    assert "40 concurrent points" in out
