@@ -9,8 +9,9 @@ enforces the concurrency layer's contract:
   a positive throughput and a positive p99 latency;
 - **zero lost updates** — the scheduler's shadow model linearizes every
   committed op in physical commit order; any lost update or
-  linearizability divergence (``check_failures``) is printed and fails
-  the job;
+  linearizability divergence (``check_failures``) is printed — along
+  with the cell's flight-recorder dump of the ops and persist events
+  leading up to it — and fails the job;
 - **bounded aborts** — optimistic readers may abort and retry under
   contention, but the per-cell abort rate (aborts per committed op)
   must stay under ``--max-abort-rate``: livelock or a broken
@@ -28,8 +29,9 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
+
+from gate_common import Gate, load_report, print_failure_context, report_section
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -40,11 +42,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-abort-rate", type=float, default=5.0)
     args = parser.parse_args(argv)
 
-    with open(args.report) as fh:
-        dump = json.load(fh)
-    grid = dump["contention"]
+    grid = report_section(load_report(args.report), "contention")
 
-    failed = False
+    gate = Gate()
     counts: set[int] = set()
     for cell in grid["cells"]:
         clients = cell["clients"]
@@ -70,33 +70,29 @@ def main(argv: list[str] | None = None) -> int:
                 f"abort rate {rate:.2f}/op exceeds {args.max_abort_rate}"
             )
         if problems:
-            failed = True
             for problem in problems:
-                print(f"FAIL: {label}: {problem}")
+                gate.fail(f"{label}: {problem}")
+            print_failure_context(cell.get("failure_context"))
         else:
-            print(
-                f"ok: {label}: {cell['committed']} ops, "
+            gate.ok(
+                f"{label}: {cell['committed']} ops, "
                 f"{cell['throughput_kops']:.1f} kops/s, "
                 f"p99 {cell['total']['p99']:.0f} ns, "
                 f"{cell['read_aborts']} abort(s) ({rate:.2f}/op)"
             )
 
     if len(counts) < args.min_client_counts:
-        failed = True
-        print(
-            f"FAIL: only client counts {sorted(counts)} "
+        gate.fail(
+            f"only client counts {sorted(counts)} "
             f"(need >= {args.min_client_counts} distinct)"
         )
     if not grid["ok"]:
-        failed = True
-        print("FAIL: experiment-level shadow check flag is not ok")
-    if not failed:
-        total = sum(cell["committed"] for cell in grid["cells"])
-        print(
-            f"gate passed: {len(counts)} client counts, {total} committed "
-            "ops, 0 lost updates, shadow checks clean"
-        )
-    return 1 if failed else 0
+        gate.fail("experiment-level shadow check flag is not ok")
+    total = sum(cell["committed"] for cell in grid["cells"])
+    return gate.finish(
+        f"{len(counts)} client counts, {total} committed "
+        "ops, 0 lost updates, shadow checks clean"
+    )
 
 
 if __name__ == "__main__":

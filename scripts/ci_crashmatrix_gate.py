@@ -4,7 +4,9 @@ Reads the ``--json`` dump of ``python -m repro.bench crashmatrix`` and
 enforces the campaign's contract:
 
 - **zero oracle violations** — any violation prints its cell, oracle
-  and minimal failing event prefix, then fails the job;
+  and minimal failing event prefix (plus the cell's flight-recorder
+  dump of the ops and persist events leading up to the failing
+  boundary), then fails the job;
 - **coverage floor** — at least ``--min-points`` distinct crash
   boundaries across at least ``--min-schemes`` schemes, so a silently
   shrunken workload cannot turn the gate green by testing nothing;
@@ -34,8 +36,9 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
+
+from gate_common import Gate, load_report, print_failure_context, report_section
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -50,38 +53,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--min-concurrent-points", type=int, default=10)
     args = parser.parse_args(argv)
 
-    with open(args.report) as fh:
-        dump = json.load(fh)
-    matrix = dump["crashmatrix"]
+    matrix = report_section(load_report(args.report), "crashmatrix")
 
-    failed = False
+    gate = Gate()
     for cell in matrix["cells"]:
         label = "{scheme}/{backend}/shards={n_shards}".format(**cell["spec"])
         if cell["violations"]:
-            failed = True
-            print(f"FAIL: {label}: {len(cell['violations'])} violation(s)")
+            gate.fail(f"{label}: {len(cell['violations'])} violation(s)")
             for violation in cell["violations"][:10]:
                 print(f"  {violation}")
             prefix = cell["min_failing_prefix"]
             print(f"  minimal failing prefix ({len(prefix)} event(s)):")
             for event in prefix[-20:]:
                 print(f"    {event}")
+            print_failure_context(cell.get("failure_context"))
         else:
-            print(
-                f"ok: {label}: {cell['points']} points, "
+            gate.ok(
+                f"{label}: {cell['points']} points, "
                 f"{cell['replays']} replays clean"
             )
 
     schemes = {cell["spec"]["scheme"] for cell in matrix["cells"]}
     if matrix["total_points"] < args.min_points:
-        failed = True
-        print(
-            f"FAIL: only {matrix['total_points']} crash points "
+        gate.fail(
+            f"only {matrix['total_points']} crash points "
             f"(need >= {args.min_points})"
         )
     if len(schemes) < args.min_schemes:
-        failed = True
-        print(f"FAIL: only schemes {sorted(schemes)} (need >= {args.min_schemes})")
+        gate.fail(f"only schemes {sorted(schemes)} (need >= {args.min_schemes})")
     split_cells = [
         cell
         for cell in matrix["cells"]
@@ -89,9 +88,8 @@ def main(argv: list[str] | None = None) -> int:
         and cell.get("split_points", 0) >= args.min_split_points
     ]
     if args.min_splits > 0 and not split_cells:
-        failed = True
-        print(
-            "FAIL: no split-in-progress cell "
+        gate.fail(
+            "no split-in-progress cell "
             f"(need >= 1 cell with >= {args.min_splits} in-window splits "
             f"and >= {args.min_split_points} mid-split crash points)"
         )
@@ -101,9 +99,8 @@ def main(argv: list[str] | None = None) -> int:
         if cell["spec"].get("batch", 0) > 0
     )
     if args.min_batch_points > 0 and batch_points < args.min_batch_points:
-        failed = True
-        print(
-            f"FAIL: only {batch_points} crash points in batched-insert "
+        gate.fail(
+            f"only {batch_points} crash points in batched-insert "
             f"cells (need >= {args.min_batch_points})"
         )
     concurrent_points = sum(
@@ -113,21 +110,18 @@ def main(argv: list[str] | None = None) -> int:
         args.min_concurrent_points > 0
         and concurrent_points < args.min_concurrent_points
     ):
-        failed = True
-        print(
-            f"FAIL: only {concurrent_points} crash points between "
+        gate.fail(
+            f"only {concurrent_points} crash points between "
             f"different clients' in-flight ops "
             f"(need >= {args.min_concurrent_points})"
         )
-    if not failed:
-        split_points = sum(c.get("split_points", 0) for c in matrix["cells"])
-        print(
-            f"gate passed: {matrix['total_points']} points, "
-            f"{matrix['total_replays']} replays, {len(schemes)} schemes, "
-            f"{split_points} mid-split points, {batch_points} batch points, "
-            f"{concurrent_points} concurrent points, 0 violations"
-        )
-    return 1 if failed else 0
+    split_points = sum(c.get("split_points", 0) for c in matrix["cells"])
+    return gate.finish(
+        f"{matrix['total_points']} points, "
+        f"{matrix['total_replays']} replays, {len(schemes)} schemes, "
+        f"{split_points} mid-split points, {batch_points} batch points, "
+        f"{concurrent_points} concurrent points, 0 violations"
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,108 @@
+"""Shared plumbing for the ``scripts/ci_*_gate.py`` CI gates.
+
+Every gate does the same bookkeeping: load a ``--json`` bench dump,
+pick one experiment section out of it, index cells by their frozen spec,
+print ``ok:`` / ``WARN:`` / ``FAIL:`` lines as it checks them, and exit
+1 iff anything failed. This module holds that plumbing once so the
+gates themselves are just their policy. The line formats are part of
+the gates' contract (tests and CI logs grep for them), so helpers here
+never reword a message — they only route it.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class Gate:
+    """Accumulates pass/fail state while printing a gate's log lines.
+
+    ``fail`` lines flip the gate red; ``warn`` lines are counted but
+    never gate (wall-clock checks on noisy CI runners use them);
+    :meth:`finish` prints the ``gate passed:`` summary only on success
+    and returns the process exit code."""
+
+    def __init__(self) -> None:
+        self.failed = False
+        self.warnings = 0
+
+    def ok(self, message: str) -> None:
+        """Print one passing check."""
+        print(f"ok: {message}")
+
+    def warn(self, message: str) -> None:
+        """Print one non-gating regression warning."""
+        self.warnings += 1
+        print(f"WARN: {message}")
+
+    def fail(self, message: str) -> None:
+        """Print one failing check and mark the gate failed."""
+        self.failed = True
+        print(f"FAIL: {message}")
+
+    def finish(self, summary: str) -> int:
+        """Print the success summary (if clean) and return 0/1."""
+        if not self.failed:
+            print(f"gate passed: {summary}")
+        return 1 if self.failed else 0
+
+
+def load_report(path: str) -> dict:
+    """Load one ``python -m repro.bench ... --json`` dump."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def report_section(dump: dict, name: str) -> dict:
+    """One experiment's payload out of a dump, or a clean SystemExit
+    (the dump simply not containing the experiment is a gate failure,
+    not a traceback)."""
+    try:
+        return dump[name]
+    except KeyError:
+        raise SystemExit(
+            f"FAIL: report has no {name!r} section "
+            f"(found: {sorted(k for k in dump if isinstance(dump[k], dict))})"
+        ) from None
+
+
+def spec_key(spec: dict) -> tuple:
+    """Hashable identity of a cell's frozen spec (sorted field items)."""
+    return tuple(sorted(spec.items()))
+
+
+def cells_by_spec(payload: dict) -> dict[tuple, dict]:
+    """Index an experiment payload's cells by :func:`spec_key`."""
+    return {spec_key(cell["spec"]): cell for cell in payload["cells"]}
+
+
+def dig(mapping: dict, dotted: str, default=None):
+    """Walk a nested dict by a dotted path (``"total.p99"``)."""
+    node = mapping
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return default
+        node = node[part]
+    return node
+
+
+def print_failure_context(context: dict | None, *, indent: str = "  ") -> None:
+    """Pretty-print a cell's flight-recorder dump (the
+    ``failure_context`` payload attached to shadow-oracle and
+    crash-matrix failures): the persist events and per-client op rings
+    leading up to the first failure."""
+    if not context:
+        return
+    head = f"{indent}flight recorder"
+    boundary = context.get("first_failing_boundary")
+    if boundary is not None:
+        head += f" (events before failing boundary {boundary})"
+    print(
+        head + f": {context.get('events_seen', 0)} event(s), "
+        f"{context.get('ops_seen', 0)} op(s) seen"
+    )
+    for event in context.get("events", [])[-20:]:
+        print(f"{indent}  event {event}")
+    for client, ring in sorted(context.get("ops", {}).items()):
+        for op in ring[-5:]:
+            print(f"{indent}  client {client} op {op}")

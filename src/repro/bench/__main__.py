@@ -36,6 +36,7 @@ from repro.bench.experiments import (
     sweep_lf,
     table3,
     throughput,
+    timeline,
     writes,
 )
 from repro.bench.report import hrule
@@ -59,6 +60,7 @@ EXPERIMENTS = {
     "crashmatrix": crashmatrix.run,
     "profile": profile_exp.run,
     "throughput": throughput.run,
+    "timeline": timeline.run,
 }
 
 #: experiments that measure wall-clock and therefore build their own
@@ -165,8 +167,8 @@ def main(argv: list[str] | None = None) -> int:
         names = [
             "fig2", "fig5", "fig6", "fig7", "fig8", "table3",
             "writes", "ablations", "sweep", "negative", "mixed",
-            "growth", "contention", "throughput", "crashmatrix",
-            "profile", "backends", "engine",
+            "growth", "contention", "timeline", "throughput",
+            "crashmatrix", "profile", "backends", "engine",
         ]
 
     jobs = args.jobs if args.jobs is not None else os.cpu_count() or 1
@@ -204,17 +206,20 @@ def main(argv: list[str] | None = None) -> int:
         print(result.text)
         print(f"  [wall-clock {elapsed:.1f}s — latencies above are simulated ns]")
         payload = result.data
-        if name == "profile":
+        if "chrome_trace" in payload:
             # the Chrome trace goes to its own file (it is an artifact
             # for a viewer, not part of the structured report)
             payload = {k: v for k, v in payload.items() if k != "chrome_trace"}
             # default scratch artifacts land under the gitignored out/
-            # directory, never at the repo root
-            if args.json:
+            # directory, never at the repo root; suffix with the
+            # experiment name when several in one run emit traces
+            if args.json and len(names) == 1:
                 trace_path = os.path.splitext(args.json)[0] + ".trace.json"
+            elif args.json:
+                trace_path = os.path.splitext(args.json)[0] + f".{name}.trace.json"
             else:
                 os.makedirs("out", exist_ok=True)
-                trace_path = os.path.join("out", "profile.trace.json")
+                trace_path = os.path.join("out", f"{name}.trace.json")
             with open(trace_path, "w") as fh:
                 json.dump(result.data["chrome_trace"], fh)
             print(

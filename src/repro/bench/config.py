@@ -150,10 +150,14 @@ def region_for(
     if backend != "sim":
         raise ValueError(f"unknown backend {backend!r}; choose 'sim' or 'raw'")
     cache_bytes = max(4096, int(table_bytes / cache_ratio))
+    # track_wear: per-line medium-write counters are volatile bookkeeping
+    # with zero simulated cost, and give every sim-backed bench a wear
+    # summary (exported as wear.* gauges) for free
     config = SimConfig(
         latency=TECHNOLOGY_PRESETS[tech],
         cache=CacheConfig(size_bytes=cache_bytes, line_size=64, associativity=8),
         flush_invalidates=flush_invalidates,
+        track_wear=True,
     )
     return NVMRegion(size, config, name=f"bench-{total_cells}")
 

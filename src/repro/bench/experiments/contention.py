@@ -30,7 +30,7 @@ from repro.bench.report import format_ratio_note, format_table
 from repro.bench.runner import fill_to_load_factor
 from repro.bench.workload import PRESETS, generate_ops
 from repro.concurrency import ClientOp, run_concurrent, table_digest
-from repro.obs import MetricsRegistry
+from repro.obs import FlightRecorder, MetricsRegistry
 
 #: the client-count axis (the acceptance grid: 1, 4 and 16 clients)
 CLIENT_COUNTS: tuple[int, ...] = (1, 4, 16)
@@ -164,7 +164,10 @@ def run_concurrent_spec(spec: ConcurrentSpec) -> dict:
     resident, fill_failures = fill_to_load_factor(built, stream, spec.load_factor)
     streams = build_client_streams(spec, resident, stream)
     metrics = MetricsRegistry()
-    result = run_concurrent(table, streams, seed=spec.seed, metrics=metrics)
+    recorder = FlightRecorder()
+    result = run_concurrent(
+        table, streams, seed=spec.seed, metrics=metrics, recorder=recorder
+    )
     committed = len(result.committed)
     return {
         "spec": spec.to_dict(),
@@ -184,6 +187,7 @@ def run_concurrent_spec(spec: ConcurrentSpec) -> dict:
         "concurrent_ops": sum(1 for r in result.committed if r.concurrent),
         "lost_updates": result.lost_updates,
         "check_failures": list(result.check_failures),
+        "failure_context": result.failure_context,
         "client_events": result.client_events,
         "table_digest": table_digest(table),
         "fill_count": len(resident),

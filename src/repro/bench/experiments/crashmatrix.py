@@ -43,6 +43,7 @@ from repro.core import DirectoryTable, ShardedTable, recover_table
 from repro.nvm.backend import MemoryBackend, RawBackend
 from repro.nvm.crash import CrashSchedule
 from repro.nvm.crashpoint import BatchOp, Op, run_campaign
+from repro.obs import FlightRecorder
 from repro.tables.cell import CellCodec, ItemSpec
 
 #: schemes enumerated at the tiny (``--quick``) scale
@@ -456,6 +457,7 @@ def run_crash_matrix_spec(spec: CrashMatrixSpec) -> dict:
         subset_budget=spec.subset_budget,
         seed=spec.seed,
         prefill=prefill,
+        recorder=FlightRecorder(),
     )
     prefix = result.minimal_failing_prefix()
     return {
@@ -475,6 +477,7 @@ def run_crash_matrix_spec(spec: CrashMatrixSpec) -> dict:
         "min_failing_prefix": (
             None if prefix is None else [e.to_list() for e in prefix]
         ),
+        "failure_context": result.failure_context,
     }
 
 

@@ -69,6 +69,23 @@ def _heat_section(metrics: dict) -> str | None:
     return "\n".join(lines)
 
 
+def _wear_section(metrics: dict) -> str | None:
+    """Render the ``wear.*`` summary gauges the runner exports when the
+    region tracks per-line medium writes."""
+    gauges = metrics.get("gauges", {})
+    if "wear.max_line_writes" not in gauges:
+        return None
+    return (
+        "Wear  [medium line writes]\n"
+        f"  lines touched {gauges.get('wear.lines_touched', 0):>8.0f}"
+        f"   max/line {gauges.get('wear.max_line_writes', 0):>6.0f}"
+        f"   mean/line {gauges.get('wear.mean_line_writes', 0):>8.2f}\n"
+        f"  imbalance {gauges.get('wear.imbalance', 0):>12.2f}"
+        f"   gini {gauges.get('wear.gini', 0):>9.3f}"
+        f"   hot-1% share {gauges.get('wear.hot1pct_share', 0):>5.3f}"
+    )
+
+
 def _chrome_events(scheme: str, pid: int, result: RunResult) -> list[dict]:
     """Re-pid one cell's trace events and prepend the process metadata."""
     events: list[dict] = [
@@ -128,6 +145,9 @@ def run(
         heat = _heat_section(metrics)
         if heat is not None:
             block.append(heat)
+        wear = _wear_section(metrics)
+        if wear is not None:
+            block.append(wear)
         span_ns = result.extras.get("span_sim_ns", 0.0)
         phase_ns = result.extras.get("phase_sim_ns", 0.0)
         ops = result.insert.ops + result.query.ops + result.delete.ops

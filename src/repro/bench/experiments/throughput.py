@@ -24,7 +24,7 @@ numbers are only *re-measured* under ``REPRO_BENCH_NO_CACHE=1`` (or
 ``--no-cache``) — a cached report replays byte-identically, which is
 what lets CI diff reports across runs. The committed
 ``bench_throughput.json`` seed is the trajectory's origin point;
-``scripts/ci_throughput_trend.py`` compares fresh runs against it.
+``scripts/ci_perf_gate.py`` compares fresh runs against it.
 """
 
 from __future__ import annotations

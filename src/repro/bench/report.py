@@ -76,6 +76,45 @@ def format_percentile_table(
     )
 
 
+#: eight-level block ramp used by :func:`format_sparkline`
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def format_sparkline(
+    label: str,
+    values: Sequence[float],
+    *,
+    width: int = 32,
+    unit: str = "",
+) -> str:
+    """Render one series as a labelled unicode sparkline.
+
+    Values are scaled to the series' own min..max (a flat series renders
+    as all-low blocks); longer series are downsampled by taking the max
+    of each bucket, so spikes survive the compression. The line ends
+    with the numeric min/max so the sparkline's scale is readable."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return f"  {label}  (no samples)"
+    if len(vals) > width:
+        # bucket-max downsampling: a p99 spike must not average away
+        step = len(vals) / width
+        vals = [
+            max(vals[int(i * step): max(int(i * step) + 1, int((i + 1) * step))])
+            for i in range(width)
+        ]
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    chars = "".join(
+        SPARK_BLOCKS[
+            0 if span == 0 else int((v - lo) / span * (len(SPARK_BLOCKS) - 1))
+        ]
+        for v in vals
+    )
+    suffix = f"  [{lo:.0f}..{hi:.0f}{' ' + unit if unit else ''}]"
+    return f"  {label:<18} {chars}{suffix}"
+
+
 def format_ratio_note(note: str) -> str:
     """Footnote line under a table (e.g. the paper's headline ratios)."""
     return f"  -> {note}"

@@ -41,6 +41,7 @@ from repro.nvm import (
     RawBackend,
     SimConfig,
 )
+from repro.nvm.wear import export_wear_metrics
 from repro.obs import MetricsRegistry, Tracer
 from repro.tables.cell import CellCodec
 
@@ -506,6 +507,7 @@ def run_workload(spec: RunSpec) -> RunResult:
         observe = getattr(table, "observe_occupancy", None)
         if observe is not None:
             observe(metrics)
+        export_wear_metrics(region, metrics)
         result.metrics = metrics.as_dict()
     if tracer is not None:
         tracer.detach()
@@ -897,11 +899,13 @@ class GrowthSpec:
         return cls(**data)
 
 
-def _growth_region(item_spec, spec: GrowthSpec):
+def _growth_region(item_spec, spec: GrowthSpec, *, track_wear: bool = False):
     """A region for one growth run — sized with headroom for several
     capacity doublings (splits and rebuilds both carve new tables out of
     the same never-reused bump allocator), with the cache sized from the
-    *initial* table bytes so both runs see identical memory systems."""
+    *initial* table bytes so both runs see identical memory systems.
+    ``track_wear`` turns on the (volatile, zero-simulated-cost) per-line
+    wear counters — the timeline experiment's wear-heat source."""
     codec = CellCodec(item_spec)
     size = codec.array_bytes(spec.initial_cells * 16) + (1 << 17)
     if spec.backend == "raw":
@@ -916,6 +920,7 @@ def _growth_region(item_spec, spec: GrowthSpec):
             line_size=64,
             associativity=8,
         ),
+        track_wear=track_wear,
     )
     return NVMRegion(size, config, name="growth")
 

@@ -128,6 +128,10 @@ class ConcurrentRunResult:
     check_failures: list[str] = field(default_factory=list)
     #: per-client persist-event attribution from the backend hook
     client_events: list[dict] = field(default_factory=list)
+    #: flight-recorder dump (last-N ops per client + recent persist
+    #: events) captured when a shadow check failed; ``None`` on clean
+    #: runs or when no recorder was attached
+    failure_context: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -164,12 +168,16 @@ class _Scheduler:
         metrics,
         spin_ns,
         backoff_ns,
+        timeline=None,
+        recorder=None,
     ) -> None:
         self.table = table
         self.region = table.region
         self.streams = streams
         self.seed = seed
         self.metrics = metrics
+        self.timeline = timeline
+        self.recorder = recorder
         self.spin_ns = spin_ns
         self.backoff_ns = backoff_ns
         self.locks = VersionedLockTable(table.n_lock_stripes)
@@ -224,15 +232,25 @@ class _Scheduler:
                 events[kind] = events.get(kind, 0) + 1
                 if kind == "write":
                     events["bytes"] += size
+            if self.timeline is not None:
+                self.timeline.record_event(kind, self._now(), addr, size)
+            if self.recorder is not None:
+                self.recorder.record_event(
+                    kind=kind, addr=addr, client=client, t_ns=self._now()
+                )
             if self._stats is None:
                 self._raw_ns += RAW_EVENT_NS
 
         return hook
 
     def _count(self, name: str, n: int = 1) -> None:
-        """Bump a ``ccl.*`` counter in the attached registry, if any."""
+        """Bump a ``ccl.*`` counter in the attached registry (and the
+        matching per-window timeline channel), if attached."""
         if self.metrics is not None:
             self.metrics.counter(name).inc(n)
+        if self.timeline is not None:
+            # "ccl.read_aborts" -> per-window "read_aborts" channel
+            self.timeline.inc(name.rsplit(".", 1)[-1], self._now(), n)
 
     # ------------------------------------------------------------------
     # client op generators (each yields simulated-ns step costs)
@@ -401,13 +419,33 @@ class _Scheduler:
         return ok
 
     def _record_latency(self, client: int, record: CommitRecord) -> None:
-        """Feed one op's end-to-end latency to the recorders/registry."""
+        """Feed one op's end-to-end latency to the recorders/registry
+        and, when attached, the per-window timeline and flight
+        recorder."""
         latency = self.clock[client] - record.issue_ns
         index = len(self.committed) - 1
         self.per_client[client].record(latency, index)
         self.overall.record(latency, index)
         if self.metrics is not None:
             self.metrics.histogram(f"ccl.latency.client{client}").record(latency)
+        if self.timeline is not None:
+            now = self._now()
+            self.timeline.observe("latency", now, latency)
+            self.timeline.inc("ops", now)
+            self.timeline.inc(f"client{client}.ops", now)
+            load = getattr(self.table, "load_factor", None)
+            if load is not None:
+                self.timeline.set_gauge("occupancy", now, load)
+        if self.recorder is not None:
+            self.recorder.record_op(
+                client,
+                index=record.op_index,
+                kind=record.op.kind,
+                key=record.op.key.hex(),
+                ok=record.ok,
+                latency_ns=latency,
+                commit=index,
+            )
 
     # ------------------------------------------------------------------
     # the interleaver
@@ -443,6 +481,13 @@ class _Scheduler:
             self.region.event_hook = previous_hook
         self._mark_concurrent()
         self._final_check()
+        failure_context = None
+        if self.recorder is not None and (
+            self.check_failures or self.lost_updates
+        ):
+            # the shadow oracle tripped: ship the black box with the
+            # verdict so the report carries its last-N-ops context
+            failure_context = self.recorder.dump()
         return ConcurrentRunResult(
             n_clients=n,
             ops=sum(len(s) for s in self.streams),
@@ -459,6 +504,7 @@ class _Scheduler:
             lost_updates=self.lost_updates,
             check_failures=self.check_failures,
             client_events=self.client_events,
+            failure_context=failure_context,
         )
 
     def _mark_concurrent(self) -> None:
@@ -501,6 +547,8 @@ def run_concurrent(
     seed: int = 42,
     shadow: dict[bytes, bytes] | None = None,
     metrics=None,
+    timeline=None,
+    recorder=None,
     spin_ns: float = SPIN_NS,
     backoff_ns: float = BACKOFF_NS,
 ) -> ConcurrentRunResult:
@@ -510,9 +558,17 @@ def run_concurrent(
     ``shadow`` seeds the lost-update oracle with the table's current
     contents (defaults to a cost-free ``items()`` peek). ``metrics``
     optionally receives ``ccl.*`` abort/retry counters and per-client
-    latency histograms. The result is a pure function of the arguments:
-    same table state + streams + seed ⇒ identical interleaving, op
-    results and final table bytes."""
+    latency histograms. ``timeline`` (a
+    :class:`~repro.obs.WindowSeries`) receives per-window ops/latency/
+    abort/retry/lock-wait channels, per-client op counts, persist-event
+    rates and the occupancy gauge; ``recorder`` (a
+    :class:`~repro.obs.FlightRecorder`) keeps the last-N ops per client
+    and is dumped into the result's ``failure_context`` when a shadow
+    check fails. All sinks purely observe — attaching them leaves the
+    interleaving and the simulated event stream byte-identical. The
+    result is a pure function of the arguments: same table state +
+    streams + seed ⇒ identical interleaving, op results and final
+    table bytes."""
     if not streams:
         raise ValueError("need at least one client stream")
     scheduler = _Scheduler(
@@ -521,6 +577,8 @@ def run_concurrent(
         seed=seed,
         shadow=shadow,
         metrics=metrics,
+        timeline=timeline,
+        recorder=recorder,
         spin_ns=spin_ns,
         backoff_ns=backoff_ns,
     )

@@ -115,6 +115,11 @@ class DirectoryTable:
         self.metrics = None
         self.splits = 0
         self.doublings = 0
+        #: optional growth observer called with "split" / "doubling"
+        #: right after the structural change commits — how the timeline
+        #: experiment stamps growth events onto the simulated clock;
+        #: purely observational, never touches the region
+        self.on_growth = None
         #: (base, size) of a directory array whose root swing is in
         #: flight — reconciled (kept or abandoned) on reattach
         self._pending_dir: tuple[int, int] | None = None
@@ -396,6 +401,8 @@ class DirectoryTable:
         if self.metrics is not None:
             self.metrics.counter("directory.doublings").inc()
             self.metrics.gauge("directory.depth").set(self._depth)
+        if self.on_growth is not None:
+            self.on_growth("doubling")
 
     def _split(self, victim_addr: int) -> None:
         """Split the segment at ``victim_addr``: copy → swing → delete.
@@ -473,6 +480,8 @@ class DirectoryTable:
             if mx is not None:
                 mx.counter("directory.splits").inc()
                 mx.histogram("directory.split_moved").record(len(moved))
+            if self.on_growth is not None:
+                self.on_growth("split")
         finally:
             if tr is not None:
                 tr.pop()

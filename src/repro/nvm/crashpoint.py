@@ -254,6 +254,11 @@ class CampaignResult:
     #: (boundary, schedule) replays actually executed
     replays: int = 0
     violations: list[Violation] = field(default_factory=list)
+    #: flight-recorder dump trimmed to the minimal failing prefix —
+    #: the last recorded ops/events leading up to the earliest failing
+    #: boundary; ``None`` when the campaign is clean or no recorder was
+    #: attached
+    failure_context: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -271,8 +276,19 @@ class CampaignResult:
         return self.trace.events[: first - 1]
 
 
-def record_trace(harness: CrashHarness, ops: Sequence[Op | BatchOp]) -> WorkloadTrace:
+def record_trace(
+    harness: CrashHarness,
+    ops: Sequence[Op | BatchOp],
+    recorder=None,
+) -> WorkloadTrace:
     """Run ``ops`` uncrashed on a fresh harness, recording the event log.
+
+    ``recorder`` (a :class:`~repro.obs.FlightRecorder`) optionally
+    mirrors the recording into a bounded ring — each persist event with
+    its program-order index, each op with the event count it retired at
+    — so a failing campaign can ship last-N context alongside the
+    minimal failing prefix. The recorder is volatile-only: it observes
+    the same hook invocations the trace does and never changes them.
 
     Raises if any op does not take effect — campaign workloads must be
     deterministic, and an op that fails in the recording would silently
@@ -280,8 +296,16 @@ def record_trace(harness: CrashHarness, ops: Sequence[Op | BatchOp]) -> Workload
     events: list[PersistEvent] = []
     backend = harness.crash_backend
 
-    def hook(kind: str, addr: int, size: int) -> None:
-        events.append(PersistEvent(kind, addr, size))
+    if recorder is None:
+
+        def hook(kind: str, addr: int, size: int) -> None:
+            events.append(PersistEvent(kind, addr, size))
+
+    else:
+
+        def hook(kind: str, addr: int, size: int) -> None:
+            recorder.record_event(index=len(events) + 1, kind=kind, addr=addr)
+            events.append(PersistEvent(kind, addr, size))
 
     backend.event_hook = hook
     op_end_events: list[int] = []
@@ -309,6 +333,14 @@ def record_trace(harness: CrashHarness, ops: Sequence[Op | BatchOp]) -> Workload
                 split_windows.append((start, len(events)))
             if i in concurrent_ops:
                 concurrent_windows.append((start, len(events)))
+            if recorder is not None:
+                recorder.record_op(
+                    0,
+                    index=i,
+                    kind=op.kind,
+                    key=op_keys(op)[0].hex(),
+                    events_done=len(events),
+                )
     finally:
         backend.event_hook = None
     return WorkloadTrace(
@@ -500,6 +532,7 @@ def run_campaign(
     seed: int = 0,
     prefill: dict[bytes, bytes] | None = None,
     max_points: int | None = None,
+    recorder=None,
 ) -> CampaignResult:
     """Enumerate every crash boundary of the ``ops`` workload.
 
@@ -510,8 +543,15 @@ def run_campaign(
     enumerated survival schedule; after each crash the harness recovers
     and the oracles run. ``max_points`` truncates the boundary sweep
     (diagnostics only — a truncated campaign proves nothing about the
-    boundaries it skipped)."""
-    trace = record_trace(factory(), ops)
+    boundaries it skipped).
+
+    ``recorder`` (a :class:`~repro.obs.FlightRecorder`) observes the
+    recording run; when the campaign fails, its dump — trimmed to the
+    ops and events that executed before the earliest failing boundary —
+    lands in :attr:`CampaignResult.failure_context`, so the report that
+    carries the minimal failing prefix also carries the last recorded
+    ops leading into it."""
+    trace = record_trace(factory(), ops, recorder=recorder)
     states = shadow_states(ops, base=prefill)
     result = CampaignResult(trace=trace, n_ops=len(ops))
     boundaries = range(1, trace.n_events + 2)
@@ -559,4 +599,16 @@ def run_campaign(
                     op_index=inflight,
                 )
             )
+    if result.violations and recorder is not None:
+        first = min(v.event_index for v in result.violations)
+        dump = recorder.dump()
+        # keep only what executed before the failing boundary, so the
+        # context matches the minimal failing prefix exactly
+        dump["ops"] = {
+            client: [op for op in ring if op.get("events_done", 0) < first]
+            for client, ring in dump["ops"].items()
+        }
+        dump["events"] = [e for e in dump["events"] if e.get("index", 0) < first]
+        dump["first_failing_boundary"] = first
+        result.failure_context = dump
     return result

@@ -17,6 +17,7 @@ rotate away.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -35,6 +36,9 @@ class WearReport:
     mean_line_writes: float
     #: fraction of all writes absorbed by the hottest 1% of touched lines
     hot1pct_share: float
+    #: Gini coefficient of writes over touched lines — 0.0 is perfectly
+    #: level wear, 1.0 is all writes on one line
+    gini: float = 0.0
 
     @property
     def imbalance(self) -> float:
@@ -56,10 +60,16 @@ class WearMap:
             raise ValueError("size and line_size must be positive")
         self.line_size = line_size
         self._counts = np.zeros((size + line_size - 1) // line_size, dtype=np.int64)
+        #: optional volatile observer called with each recorded line —
+        #: how the window sampler feeds its wear-heat series; purely
+        #: observational, never touches the backend
+        self.on_record: Callable[[int], None] | None = None
 
     def record(self, line: int) -> None:
         """Count one medium write of ``line``."""
         self._counts[line] += 1
+        if self.on_record is not None:
+            self.on_record(line)
 
     def line_writes(self, line: int) -> int:
         """Write count of one line."""
@@ -80,17 +90,51 @@ class WearMap:
         touched = counts[counts > 0]
         total = int(counts.sum())
         if touched.size == 0:
-            return WearReport(0, 0, 0, 0.0, 0.0)
+            return WearReport(0, 0, 0, 0.0, 0.0, 0.0)
         hot_n = max(1, touched.size // 100)
-        hottest = np.sort(touched)[::-1][:hot_n]
+        ascending = np.sort(touched)
+        hottest = ascending[::-1][:hot_n]
+        # Gini over touched lines via the sorted-rank identity:
+        # G = 2 Σ i·x_(i) / (n Σ x) − (n + 1)/n, with x ascending
+        n = touched.size
+        ranks = np.arange(1, n + 1, dtype=np.int64)
+        gini = float(
+            2.0 * int((ranks * ascending).sum()) / (n * total) - (n + 1) / n
+        )
         return WearReport(
             total_line_writes=total,
-            lines_touched=int(touched.size),
+            lines_touched=int(n),
             max_line_writes=int(touched.max()),
             mean_line_writes=float(touched.mean()),
             hot1pct_share=float(hottest.sum() / total),
+            gini=gini,
         )
 
     def reset(self) -> None:
         """Zero all counters (e.g. after a wear-leveling rotation)."""
         self._counts[:] = 0
+
+
+def export_wear_metrics(region, metrics, *, prefix: str = "wear") -> WearReport | None:
+    """Publish a region's wear summary into a metrics registry.
+
+    Sets ``<prefix>.*`` gauges (total/touched/max/mean line writes,
+    imbalance, Gini, hot-1% share) from ``region.wear`` so wear shows
+    up in ``profile`` and ``timeline`` output next to every other
+    metric, not only in the dedicated wear tests. Gauges merge by
+    ``max`` across workers, which is the conservative (worst-region)
+    combination for wear. Returns the report, or ``None`` when the
+    region tracks no wear (then nothing is published)."""
+    wear = getattr(region, "wear", None)
+    if wear is None or metrics is None:
+        return None
+    report = wear.report()
+    metrics.gauge(f"{prefix}.total_line_writes").set(report.total_line_writes)
+    metrics.gauge(f"{prefix}.lines_touched").set(report.lines_touched)
+    metrics.gauge(f"{prefix}.max_line_writes").set(report.max_line_writes)
+    metrics.gauge(f"{prefix}.mean_line_writes").set(report.mean_line_writes)
+    metrics.gauge(f"{prefix}.imbalance").set(report.imbalance)
+    metrics.gauge(f"{prefix}.gini").set(report.gini)
+    metrics.gauge(f"{prefix}.hot1pct_share").set(report.hot1pct_share)
+    return report
+

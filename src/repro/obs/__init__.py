@@ -8,12 +8,28 @@ Two complementary views of one simulated run:
   an aggregate attribution table or a Chrome ``trace_event`` file;
 - :class:`MetricsRegistry` (``metrics.py``) counts structural facts —
   probe-length histograms, per-group heat, WAL/rollback counters —
-  in plain Python, mergeable across engine worker processes.
+  in plain Python, mergeable across engine worker processes;
+- :class:`WindowSeries` / :class:`WindowSampler` (``timeseries.py``)
+  slice those facts into fixed-width simulated-time windows — the
+  behavior-over-time view (`python -m repro.bench timeline`);
+- :class:`FlightRecorder` (``recorder.py``) keeps a bounded ring of
+  recent ops + persist events so oracle failures ship their
+  last-N-ops context;
+- :class:`SloRule` / :func:`evaluate` (``health.py``) turn a series
+  into a declarative pass/warn/fail health report.
 
-Both are strictly observational: with them disabled the simulation is
-byte-identical, and even enabled they issue zero extra region events.
+All of it is strictly observational: with sinks disabled the
+simulation is byte-identical, and even enabled they issue zero extra
+region events.
 """
 
+from repro.obs.health import (
+    STATUSES,
+    HealthCheck,
+    HealthReport,
+    SloRule,
+    evaluate,
+)
 from repro.obs.metrics import (
     N_BUCKETS,
     Counter,
@@ -25,17 +41,32 @@ from repro.obs.metrics import (
     bucket_label,
     merge_metric_dicts,
 )
+from repro.obs.recorder import FlightRecorder
+from repro.obs.timeseries import (
+    SURROGATE_EVENT_NS,
+    WindowSampler,
+    WindowSeries,
+)
 from repro.obs.tracer import Tracer
 
 __all__ = [
     "N_BUCKETS",
+    "STATUSES",
+    "SURROGATE_EVENT_NS",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Heat",
+    "HealthCheck",
+    "HealthReport",
     "Histogram",
     "MetricsRegistry",
+    "SloRule",
     "Tracer",
+    "WindowSampler",
+    "WindowSeries",
     "bucket_index",
     "bucket_label",
+    "evaluate",
     "merge_metric_dicts",
 ]

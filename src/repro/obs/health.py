@@ -1,0 +1,155 @@
+"""Declarative SLO thresholds evaluated into a pass/warn/fail report.
+
+A timeline without judgment is a wall of numbers; serving systems state
+their expectations as SLOs — "p99 under X", "abort rate under Y" — and
+check behavior against them mechanically. :class:`SloRule` declares one
+such threshold (a warn level and a fail level over a named metric);
+:func:`evaluate` applies a rule set to a flat ``{metric: value}`` dict
+and produces a :class:`HealthReport` whose overall status is the worst
+per-rule status. The report is JSON-round-trippable, so
+``scripts/ci_perf_gate.py`` gates on the dumped report without
+re-deriving anything.
+
+A metric missing from the values dict evaluates to ``warn`` (visible
+in the report, not fatal): a renamed metric should never silently turn
+a health gate green.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+#: status names from best to worst; list order defines severity
+STATUSES: tuple[str, ...] = ("pass", "warn", "fail")
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One declarative threshold over one scalar metric.
+
+    ``direction`` says which side is unhealthy: ``"above"`` fails when
+    the value reaches the threshold from below (latency, abort rate),
+    ``"below"`` when it sinks to it (throughput floors)."""
+
+    #: metric key in the values dict :func:`evaluate` receives
+    metric: str
+    #: reaching this level (in the bad direction) marks the rule warn
+    warn: float
+    #: reaching this level marks the rule — and the report — fail
+    fail: float
+    direction: str = "above"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("above", "below"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+        bad = (
+            self.fail < self.warn
+            if self.direction == "above"
+            else self.fail > self.warn
+        )
+        if bad:
+            raise ValueError(
+                f"rule {self.metric!r}: fail threshold must be at least as "
+                f"{self.direction} as the warn threshold"
+            )
+
+    def status_of(self, value: "float | None") -> str:
+        """Evaluate one observed value against this rule."""
+        if value is None:
+            return "warn"
+        if self.direction == "above":
+            if value >= self.fail:
+                return "fail"
+            return "warn" if value >= self.warn else "pass"
+        if value <= self.fail:
+            return "fail"
+        return "warn" if value <= self.warn else "pass"
+
+    def to_dict(self) -> dict:
+        """JSON-ready field dict."""
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class HealthCheck:
+    """One rule's verdict over one observed value."""
+
+    metric: str
+    status: str
+    #: the observed value (``None`` when the metric was missing)
+    value: "float | None"
+    warn: float
+    fail: float
+    direction: str
+    description: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-ready field dict."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HealthCheck":
+        """Rebuild a check from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+@dataclass
+class HealthReport:
+    """Every rule's verdict plus the worst overall status."""
+
+    checks: list[HealthCheck]
+
+    @property
+    def status(self) -> str:
+        """Worst per-check status ("pass" when there are no checks)."""
+        worst = 0
+        for check in self.checks:
+            worst = max(worst, STATUSES.index(check.status))
+        return STATUSES[worst]
+
+    def failing(self) -> list[HealthCheck]:
+        """Checks whose status is ``fail``."""
+        return [c for c in self.checks if c.status == "fail"]
+
+    def warning(self) -> list[HealthCheck]:
+        """Checks whose status is ``warn``."""
+        return [c for c in self.checks if c.status == "warn"]
+
+    def as_dict(self) -> dict:
+        """JSON-ready dict: overall status plus every check."""
+        return {
+            "status": self.status,
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HealthReport":
+        """Rebuild a report from :meth:`as_dict` output."""
+        return cls(
+            checks=[HealthCheck.from_dict(c) for c in payload.get("checks", [])]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HealthReport(status={self.status!r}, checks={len(self.checks)})"
+
+
+def evaluate(
+    rules: "list[SloRule] | tuple[SloRule, ...]", values: dict
+) -> HealthReport:
+    """Apply every rule to ``values`` (``{metric: scalar}``) and return
+    the combined report, in rule order."""
+    checks = [
+        HealthCheck(
+            metric=rule.metric,
+            status=rule.status_of(values.get(rule.metric)),
+            value=values.get(rule.metric),
+            warn=rule.warn,
+            fail=rule.fail,
+            direction=rule.direction,
+            description=rule.description,
+        )
+        for rule in rules
+    ]
+    return HealthReport(checks=checks)

@@ -153,10 +153,10 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Upper bound of the bucket containing the ``q``-quantile
         observation (0.0 when empty)."""
-        if not self.count:
-            return 0.0
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
+        if not self.count:
+            return 0.0
         target = q * self.count
         seen = 0
         for i, c in enumerate(self.counts):

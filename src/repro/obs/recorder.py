@@ -1,0 +1,83 @@
+"""Flight recorder: bounded rings of recent ops and persist events.
+
+When a shadow oracle or a crash-matrix replay reports a violation, the
+aggregate numbers say *that* something broke; the question a debugger
+asks is *what just happened* — the last N operations each client ran
+and the persist events around the failure. :class:`FlightRecorder`
+keeps exactly that, in bounded per-client deques, so a campaign over
+thousands of replays carries a constant-memory black box instead of a
+full trace.
+
+Recording is append-to-a-``deque`` only — no region reads, no clocks
+of its own (callers stamp entries with whatever clock or event index
+they already track) — so an attached recorder never perturbs the
+simulated event stream (pinned alongside the sampler invariance test).
+
+:func:`~repro.concurrency.scheduler.run_concurrent` feeds one and dumps
+it into :class:`~repro.concurrency.scheduler.ConcurrentRunResult`
+``failure_context`` when a shadow check fails;
+:func:`~repro.nvm.crashpoint.run_campaign` feeds one during trace
+recording and attaches the context trimmed to the minimal failing
+prefix, so every violation report ships its last-N-ops story.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+
+class FlightRecorder:
+    """Bounded rings of recent per-client ops and global persist events.
+
+    ``capacity`` bounds each client's op ring; ``event_capacity``
+    bounds the shared persist-event ring. Entries are plain dicts (the
+    caller chooses the fields, stamping clocks/indices itself), so a
+    dump is JSON-ready as-is.
+    """
+
+    def __init__(self, capacity: int = 32, event_capacity: int = 128) -> None:
+        if capacity < 1 or event_capacity < 1:
+            raise ValueError("capacity and event_capacity must be positive")
+        self.capacity = capacity
+        self.event_capacity = event_capacity
+        self._ops: dict[int, Deque[dict]] = {}
+        self._events: Deque[dict] = deque(maxlen=event_capacity)
+        #: totals beyond the rings (how much history was dropped)
+        self.ops_seen = 0
+        self.events_seen = 0
+
+    def record_op(self, client: int, **fields) -> None:
+        """Append one op entry to ``client``'s ring (oldest falls off)."""
+        ring = self._ops.get(client)
+        if ring is None:
+            ring = self._ops[client] = deque(maxlen=self.capacity)
+        ring.append(fields)
+        self.ops_seen += 1
+
+    def record_event(self, **fields) -> None:
+        """Append one persist-event entry to the shared ring."""
+        self._events.append(fields)
+        self.events_seen += 1
+
+    def dump(self) -> dict:
+        """JSON-ready snapshot: per-client op rings (string client
+        keys), the event ring, and how much history the rings have
+        dropped."""
+        return {
+            "capacity": self.capacity,
+            "event_capacity": self.event_capacity,
+            "ops_seen": self.ops_seen,
+            "events_seen": self.events_seen,
+            "ops": {
+                str(client): list(ring)
+                for client, ring in sorted(self._ops.items())
+            },
+            "events": list(self._events),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlightRecorder(clients={len(self._ops)}, "
+            f"ops_seen={self.ops_seen}, events_seen={self.events_seen})"
+        )

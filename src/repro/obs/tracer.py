@@ -328,11 +328,26 @@ class Tracer:
             )
         return out
 
-    def chrome_trace(self, *, pid: int = 1, tid: int = 1) -> dict:
+    def chrome_trace(
+        self,
+        *,
+        pid: int = 1,
+        tid: int = 1,
+        counter_events: "list[dict] | None" = None,
+    ) -> dict:
         """A complete Chrome trace object (``{"traceEvents": [...]}``)
-        ready to ``json.dump`` for ``chrome://tracing`` / Perfetto."""
+        ready to ``json.dump`` for ``chrome://tracing`` / Perfetto.
+
+        ``counter_events`` appends counter ("C") records — e.g. a
+        :meth:`~repro.obs.timeseries.WindowSeries.chrome_counter_events`
+        export — after the span events, so one file shows the span
+        flamegraph and the per-window timelines on the same
+        simulated-clock axis."""
+        events = self.chrome_events(pid=pid, tid=tid)
+        if counter_events:
+            events.extend(counter_events)
         return {
-            "traceEvents": self.chrome_events(pid=pid, tid=tid),
+            "traceEvents": events,
             "displayTimeUnit": "ns",
             "otherData": {
                 "clock": "simulated",

@@ -1,0 +1,214 @@
+"""Tests for the shared CI-gate plumbing and the perf regression gate.
+
+The gate scripts live in ``scripts/`` (not the package), so they are
+loaded by file path here — ``gate_common`` first, so the gates' sibling
+import resolves exactly the way it does when CI runs them as scripts.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+def _load(name: str):
+    """Import one gate script by path (registering it for siblings)."""
+    if str(SCRIPTS) not in sys.path:
+        sys.path.insert(0, str(SCRIPTS))
+    spec = importlib.util.spec_from_file_location(name, SCRIPTS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+gate_common = _load("gate_common")
+ci_perf_gate = _load("ci_perf_gate")
+
+
+# ----------------------------------------------------------------------
+# gate_common plumbing
+
+
+def test_gate_prints_and_tracks_state(capsys):
+    gate = gate_common.Gate()
+    gate.ok("fine")
+    gate.warn("slow")
+    assert gate.finish("all good") == 0
+    out = capsys.readouterr().out
+    assert "ok: fine" in out and "WARN: slow" in out
+    assert "gate passed: all good" in out
+    assert gate.warnings == 1
+
+    gate = gate_common.Gate()
+    gate.fail("broken")
+    assert gate.finish("nope") == 1
+    out = capsys.readouterr().out
+    assert "FAIL: broken" in out and "gate passed" not in out
+
+
+def test_report_section_exits_cleanly_on_missing_section():
+    with pytest.raises(SystemExit, match="no 'contention' section"):
+        gate_common.report_section({"timeline": {}}, "contention")
+    assert gate_common.report_section({"x": {"cells": []}}, "x") == {"cells": []}
+
+
+def test_cells_by_spec_keys_on_sorted_items():
+    cells = [
+        {"spec": {"b": 2, "a": 1}, "v": "first"},
+        {"spec": {"a": 9, "b": 2}, "v": "second"},
+    ]
+    index = gate_common.cells_by_spec({"cells": cells})
+    assert index[(("a", 1), ("b", 2))]["v"] == "first"
+    assert gate_common.spec_key({"b": 2, "a": 1}) == (("a", 1), ("b", 2))
+
+
+def test_dig_walks_dotted_paths():
+    payload = {"total": {"p99": 42.0}}
+    assert gate_common.dig(payload, "total.p99") == 42.0
+    assert gate_common.dig(payload, "total.missing") is None
+    assert gate_common.dig(payload, "total.p99.deeper", default=-1) == -1
+
+
+def test_print_failure_context_shows_recorder_rings(capsys):
+    gate_common.print_failure_context(None)
+    assert capsys.readouterr().out == ""
+    context = {
+        "first_failing_boundary": 7,
+        "events_seen": 9,
+        "ops_seen": 3,
+        "events": [{"index": 6, "kind": "write"}],
+        "ops": {"0": [{"index": 2, "kind": "insert"}]},
+    }
+    gate_common.print_failure_context(context)
+    out = capsys.readouterr().out
+    assert "failing boundary 7" in out
+    assert "'kind': 'write'" in out and "client 0 op" in out
+
+
+# ----------------------------------------------------------------------
+# ci_perf_gate end to end
+
+
+def _contention_dump(kops=100.0, p99=500.0, aborts=10) -> dict:
+    cell = {
+        "spec": {"n_clients": 4, "seed": 1},
+        "clients": 4,
+        "throughput_kops": kops,
+        "total": {"p99": p99},
+        "read_aborts": aborts,
+    }
+    return {"contention": {"cells": [cell]}}
+
+
+def _timeline_dump(status="pass", spike=30.0) -> dict:
+    growth = {
+        "spec": {"kind": "growth", "seed": 1},
+        "split_spike_ratio": spike,
+        "steady_window_p99_ns": 2000.0,
+    }
+    health = {
+        "status": status,
+        "checks": [
+            {
+                "metric": "growth.split_spike_ratio",
+                "status": status,
+                "value": spike,
+                "warn": 100.0,
+                "fail": 1000.0,
+                "direction": "above",
+                "description": "",
+            }
+        ],
+    }
+    return {"timeline": {"cells": [growth], "health": health}}
+
+
+def _run(tmp_path, fresh: dict, base: dict, *extra: str) -> int:
+    fresh_path = tmp_path / "fresh.json"
+    base_path = tmp_path / "base.json"
+    fresh_path.write_text(json.dumps(fresh))
+    base_path.write_text(json.dumps(base))
+    return ci_perf_gate.main(
+        [str(fresh_path), "--baseline", str(base_path), *extra]
+    )
+
+
+def test_perf_gate_passes_on_identical_dumps(tmp_path, capsys):
+    dump = _contention_dump()
+    assert _run(tmp_path, dump, dump) == 0
+    assert "gate passed" in capsys.readouterr().out
+
+
+def test_perf_gate_fails_on_deterministic_regression(tmp_path, capsys):
+    assert _run(tmp_path, _contention_dump(kops=50.0), _contention_dump()) == 1
+    out = capsys.readouterr().out
+    assert "FAIL: contention/4 client(s) throughput_kops" in out
+
+
+def test_perf_gate_tolerates_drift_within_tolerance(tmp_path):
+    assert _run(tmp_path, _contention_dump(p99=560.0), _contention_dump()) == 0
+
+
+def test_perf_gate_fails_on_missing_baseline_cell(tmp_path, capsys):
+    fresh = {"contention": {"cells": []}}
+    assert _run(tmp_path, fresh, _contention_dump()) == 1
+    assert "missing from fresh run" in capsys.readouterr().out
+
+
+def test_perf_gate_wall_clock_only_warns(tmp_path, capsys):
+    cell = {
+        "spec": {"scheme": "group", "backend": "raw", "batch": 0},
+        "fill": {"wall_ops_per_s": 1000.0},
+        "query": {"wall_ops_per_s": 1000.0},
+    }
+    base = {"throughput": {"cells": [cell]}}
+    slow = {
+        "throughput": {
+            "cells": [dict(cell, fill={"wall_ops_per_s": 100.0})]
+        }
+    }
+    assert _run(tmp_path, slow, base) == 0
+    out = capsys.readouterr().out
+    assert "WARN: throughput/group/raw b0 fill.wall_ops_per_s" in out
+    assert "non-gating" in out
+
+
+def test_perf_gate_gates_on_health_failure(tmp_path, capsys):
+    fresh = _timeline_dump(status="fail", spike=2000.0)
+    base = _timeline_dump()
+    # trajectory comparison alone would fail too; health must also fail
+    assert _run(tmp_path, fresh, base) == 1
+    out = capsys.readouterr().out
+    assert "FAIL: timeline: health report status is 'fail'" in out
+    assert "FAIL: timeline health growth.split_spike_ratio" in out
+
+
+def test_perf_gate_reports_missing_baseline_file(tmp_path, capsys):
+    fresh_path = tmp_path / "fresh.json"
+    fresh_path.write_text(json.dumps(_contention_dump()))
+    code = ci_perf_gate.main(
+        [str(fresh_path), "--baseline", str(tmp_path / "nope.json")]
+    )
+    assert code == 1
+    assert "no baseline" in capsys.readouterr().out
+
+
+def test_perf_gate_rejects_dumps_with_no_common_section(tmp_path, capsys):
+    assert _run(tmp_path, {"contention": {"cells": []}}, {"timeline": {}}) == 1
+    assert "no gateable section" in capsys.readouterr().out
+
+
+def test_perf_gate_real_baselines_self_compare():
+    """The committed baselines gate cleanly against themselves."""
+    root = SCRIPTS.parent
+    for name in ("bench_contention.json", "bench_timeline.json"):
+        path = root / name
+        assert path.exists(), f"committed baseline {name} is missing"
+        assert ci_perf_gate.main([str(path), "--baseline", str(path)]) == 0

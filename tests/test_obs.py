@@ -167,6 +167,43 @@ def test_merge_metric_dicts_across_workers():
     assert combined["histograms"]["probe"]["count"] == 3
 
 
+def test_empty_histogram_quantiles_are_zero_but_still_validate():
+    h = Histogram()
+    assert h.quantile(0.0) == 0.0
+    assert h.quantile(0.5) == 0.0
+    assert h.quantile(1.0) == 0.0
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)  # bad q is rejected even on an empty histogram
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_single_bucket_histogram_merge():
+    a, b = Histogram(), Histogram()
+    a.record(5)  # both land in bucket 4-7
+    b.record(6)
+    a.merge(b)
+    assert a.count == 2 and a.min == 5 and a.max == 6
+    assert a.quantile(1.0) == 7.0  # bucket upper bound
+    # merging an empty histogram is the identity
+    before = a.as_dict()
+    a.merge(Histogram())
+    assert a.as_dict() == before
+
+
+def test_heat_merge_with_mismatched_kind_raises():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.heat("x").touch(1)
+    b.counter("x").inc()
+    with pytest.raises(ValueError, match="already registered"):
+        a.merged(b)
+    with pytest.raises(ValueError, match="already registered"):
+        merge_metric_dicts([a.as_dict(), b.as_dict()])
+    # Heat.from_dict requires integer-shaped keys
+    with pytest.raises(ValueError):
+        Heat.from_dict({"not-a-line": 1})
+
+
 # ----------------------------------------------------------------------
 # tracer primitives
 
