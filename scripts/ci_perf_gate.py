@@ -16,7 +16,13 @@ per-metric tolerances:
   ratio, steady-window p99, abort rate) plus the **health report**: a
   fresh report whose overall status is ``fail`` fails the gate even if
   every trajectory matched, and ``warn`` checks are surfaced as
-  warnings.
+  warnings;
+- **serving** — the networked serving grid. Simulated throughput and
+  p99 are deterministic like contention; ``wrong_answers`` and
+  ``shadow_failures`` gate at zero tolerance (a stale location hint
+  returning a wrong value is a correctness bug, not a perf drift), and
+  ``one_sided_reads`` gates downward so the location-cache fast path
+  cannot silently stop firing.
 
 A baseline cell missing from the fresh run fails the gate (a silently
 shrunken grid must not turn it green). Cells that only exist in the
@@ -71,6 +77,13 @@ SECTION_METRICS: dict[str, tuple[Metric, ...]] = {
         Metric("abort_rate", "up", 0.50),
         Metric("throughput_kops", "down", 0.10),
     ),
+    "serving": (
+        Metric("throughput_kops", "down", 0.10),
+        Metric("total.p99", "up", 0.25),
+        Metric("wrong_answers", "up", 0.0),
+        Metric("shadow_failures", "up", 0.0),
+        Metric("one_sided_reads", "down", 0.25),
+    ),
 }
 
 
@@ -80,6 +93,11 @@ def cell_label(spec: dict) -> str:
         label = str(spec["kind"])
         if spec["kind"] == "contention":
             label += f" {spec.get('n_clients', '?')}c"
+        return label
+    if "batch_max" in spec and "n_clients" in spec:
+        label = f"{spec['n_clients']}c b{spec['batch_max']}"
+        if spec.get("location_cache"):
+            label += " +loc"
         return label
     if "n_clients" in spec:
         return f"{spec['n_clients']} client(s)"

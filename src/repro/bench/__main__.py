@@ -33,6 +33,7 @@ from repro.bench.experiments import (
     mixed,
     negative,
     profile as profile_exp,
+    serving,
     sweep_lf,
     table3,
     throughput,
@@ -58,6 +59,7 @@ EXPERIMENTS = {
     "engine": engine_exp.run,
     "contention": contention.run,
     "crashmatrix": crashmatrix.run,
+    "serving": serving.run,
     "profile": profile_exp.run,
     "throughput": throughput.run,
     "timeline": timeline.run,
@@ -167,7 +169,7 @@ def main(argv: list[str] | None = None) -> int:
         names = [
             "fig2", "fig5", "fig6", "fig7", "fig8", "table3",
             "writes", "ablations", "sweep", "negative", "mixed",
-            "growth", "contention", "timeline", "throughput",
+            "growth", "contention", "serving", "timeline", "throughput",
             "crashmatrix", "profile", "backends", "engine",
         ]
 

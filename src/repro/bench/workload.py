@@ -140,23 +140,29 @@ class ZipfianRanks:
     """Rank sampler: ``P(rank r of n) ∝ 1/(r+1)^theta``.
 
     Uses the Gray et al. quantile approximation ("Quickly generating
-    billion-record synthetic databases") with an incrementally
-    maintained zeta sum, so the live-set size may grow and shrink by
-    one between draws at O(1) cost. Fully deterministic: the same
-    ``u`` sequence yields the same ranks."""
+    billion-record synthetic databases") with a monotone table of zeta
+    prefix sums, so the live-set size may grow and shrink between draws
+    at amortised O(1) cost. The table is only ever *appended* to —
+    ``zeta(n)`` for any previously visited ``n`` is the exact same
+    float, summed in the same low-to-high term order a fresh
+    ``sum(i**-theta)`` would use — so shrink/grow oscillations (delete-
+    heavy streams) cannot accumulate the add-then-subtract rounding
+    drift the old incremental +=/-= maintenance suffered from. Fully
+    deterministic: the same ``u`` sequence yields the same ranks."""
 
     def __init__(self, theta: float) -> None:
         self.theta = theta
         self._n = 0
         self._zeta = 0.0
+        #: ``_prefix[n]`` = zeta(n) = sum of i**-theta for i in 1..n
+        self._prefix: list[float] = [0.0]
 
     def _resize(self, n: int) -> None:
-        while self._n < n:
-            self._n += 1
-            self._zeta += self._n**-self.theta
-        while self._n > n:
-            self._zeta -= self._n**-self.theta
-            self._n -= 1
+        prefix = self._prefix
+        while len(prefix) <= n:
+            prefix.append(prefix[-1] + len(prefix) ** -self.theta)
+        self._n = n
+        self._zeta = prefix[n]
 
     def rank(self, n: int, u: float) -> int:
         """Rank in ``[0, n)`` for a uniform draw ``u`` in ``[0, 1)``."""

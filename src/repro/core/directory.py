@@ -233,6 +233,25 @@ class DirectoryTable:
         addr = self.region.read_u64(self._entry_addr(self._dir_index(key)))
         return self._segments[addr]
 
+    def segment_addr(self, key: bytes) -> int:
+        """Segment info-block address currently serving ``key``
+        (cost-free control-plane lookup: reads the volatile directory
+        image and charges nothing — the serving tier's location hints
+        come from here)."""
+        region = self.region
+        return int.from_bytes(
+            region.peek_volatile(self._entry_addr(self._dir_index(key)), 8),
+            "little",
+        )
+
+    def segment_at(self, addr: int) -> GroupHashTable | None:
+        """The live segment registered at info address ``addr``, or
+        ``None`` — the target of a one-sided (hinted) read. Split
+        victims stay registered (their moved tenants are swept), so a
+        stale hint resolves to a live segment that simply *misses* on
+        moved keys; it can never return a wrong value."""
+        return self._segments.get(addr)
+
     def directory_entries(self) -> list[int]:
         """Segment address per directory slot (cost-free diagnostic)."""
         region = self.region
@@ -330,8 +349,9 @@ class DirectoryTable:
     def delete_many(self, keys: list[bytes]) -> list[bool]:
         """Batched delete: keys grouped per segment, each group committed
         with that segment's coalesced :meth:`GroupHashTable.delete_many`.
-        Same key twice in one batch: first occurrence wins (routing is
-        deterministic, so duplicates always land in the same group)."""
+        Same key twice in one batch: routing is deterministic, so the
+        duplicates land in one segment whose batch delete resolves them
+        scalar-identically (later occurrences re-probe post-commit)."""
         out: list[bool] = [False] * len(keys)
         groups: dict[int, list[int]] = {}
         for i, key in enumerate(keys):

@@ -467,23 +467,35 @@ class GroupHashTable(PersistentHashTable):
         in two fenced phases mirroring Algorithm 3's order (all bitmap
         clears flushed before any key-value wipe issues), so a persisted
         bitmap-clear can only expose a cell recovery knows to reset.
-        Duplicate keys within one batch: only the first occurrence
-        deletes; later duplicates report False (a second copy of the
-        key stored in another cell is only found by a later call)."""
+        Duplicate keys within one batch claim distinct cells exactly
+        like the scalar loop: the first occurrence takes the first match
+        and later occurrences re-probe *after* the coalesced commit, so
+        a second resident copy of the key (inserts never check presence)
+        is found and deleted just as a loop of :meth:`delete` calls
+        would find it."""
         if self.n_hash_functions != 1:
             return [self.delete(key) for key in keys]
         addrs = self._find_many(keys)
         claimed: set[int] = set()
         victims: list[int] = []
         results: list[bool] = []
-        for addr in addrs:
-            if addr is None or addr in claimed:
+        retries: list[int] = []
+        for i, addr in enumerate(addrs):
+            if addr is None:
+                results.append(False)
+            elif addr in claimed:
+                # a duplicate occurrence resolved to an already-claimed
+                # cell; another copy of the key may live elsewhere, and
+                # only a post-commit probe can see past the claimed cell
+                retries.append(i)
                 results.append(False)
             else:
                 claimed.add(addr)
                 victims.append(addr)
                 results.append(True)
         self._commit_deletes(victims)
+        for i in retries:
+            results[i] = self.delete(keys[i])
         return results
 
     def _commit_deletes(self, victims: list[int]) -> None:

@@ -227,8 +227,9 @@ class ShardedTable:
 
     def delete_many(self, keys: list[bytes]) -> list[bool]:
         """Batched delete via per-shard sub-batches; input order.
-        Duplicate keys route to one shard, so the per-table first-
-        occurrence-wins rule applies globally."""
+        Duplicate keys route to one shard, so the per-table rule (later
+        occurrences re-probe after the coalesced commit, matching the
+        scalar loop) applies globally."""
         out = [False] * len(keys)
         for shard, idxs in sorted(self._shard_indices(keys).items()):
             table = self.tables[shard]

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import hashlib
 
-from repro.core import DirectoryTable, GroupHashTable
+from repro.core import DirectoryTable, GroupHashTable, SplitError
 from repro.kv.slab import SlabAllocator
 from repro.nvm.backend import MemoryBackend
 from repro.tables.cell import ItemSpec
@@ -149,7 +149,13 @@ class KVStore:
         if old is not None:
             _, old_addr, old_length = old
             self.index.delete(digest)
-        if not self.index.insert(digest, _pack_locator(addr, len(record))):
+        try:
+            published = self.index.insert(digest, _pack_locator(addr, len(record)))
+        except SplitError:
+            # a growable index that cannot split any further is full —
+            # same observable outcome as a False insert, so the same undo
+            published = False
+        if not published:
             # Undo so a failed put leaves the store observably unchanged:
             # release the new chunk and, on an overwrite, restore the old
             # locator — that re-insert succeeds by construction because
@@ -159,7 +165,11 @@ class KVStore:
                 restored = self.index.insert(
                     digest, _pack_locator(old_addr, old_length)
                 )
-                assert restored, "re-insert into the vacated cell failed"
+                if not restored:
+                    raise RuntimeError(
+                        "re-insert into the vacated index cell failed; "
+                        f"key {key!r} dropped from the index"
+                    )
             return False
         if old is not None:
             # free the superseded record only after the new one is
@@ -245,7 +255,22 @@ class KVStore:
             (digest, _pack_locator(addr, length))
             for digest, (addr, length) in zip(digests, chunks)
         ]
-        results = self.index.put_many(pairs)
+        try:
+            results = self.index.put_many(pairs)
+        except SplitError:
+            # A growable index ran out of region mid-batch. Locators the
+            # index published before the failed split stay published
+            # (their records were persisted before the fence above); the
+            # remaining items report False and return their chunks, so
+            # the failure is confined to the unpublished suffix instead
+            # of poisoning the whole batch. Digests are fresh and unique
+            # on this path, so presence in the index is exactly
+            # "published by this batch".
+            if hasattr(self.index, "get_many"):
+                landed = self.index.get_many(digests)
+            else:
+                landed = [self.index.query(d) for d in digests]
+            results = [raw is not None for raw in landed]
         for (addr, length), ok in zip(chunks, results):
             if not ok:
                 self.slab.free(addr, length)

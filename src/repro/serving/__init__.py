@@ -1,0 +1,44 @@
+"""Simulated networked serving tier over the sharded table.
+
+Composes three deterministic pieces (ROADMAP item 3):
+
+- :mod:`repro.serving.netmodel` — a frozen per-message network cost
+  model (hop + overhead + bandwidth, in simulated ns) in the style of
+  the NVM latency presets;
+- :mod:`repro.serving.router` — per-shard FIFO request queues with
+  doorbell batching, flushing through the table's coalesced batch APIs
+  and metering service time on each shard's simulated clock;
+- :mod:`repro.serving.client` — M step-generator clients with
+  client-side location caches (key → segment hint, repaired by
+  miss-and-retry — stale hints can miss but never lie), driven by the
+  min-clock interleaver discipline of :mod:`repro.concurrency`.
+
+Everything runs on the simulated clock: no sockets, no threads, no
+wall-time — a serving run is a pure function of (table, streams,
+parameters, seed), which is what lets the ``serving`` benchmark cache
+and gate its numbers like every other experiment.
+"""
+
+from repro.serving.client import ServedRecord, ServingResult, run_serving
+from repro.serving.netmodel import (
+    LOOPBACK,
+    NETWORK_PRESETS,
+    RDMA_DC,
+    TCP_LAN,
+    NetworkModel,
+)
+from repro.serving.router import Request, Router, ServedReply
+
+__all__ = [
+    "LOOPBACK",
+    "NETWORK_PRESETS",
+    "RDMA_DC",
+    "TCP_LAN",
+    "NetworkModel",
+    "Request",
+    "Router",
+    "ServedRecord",
+    "ServedReply",
+    "ServingResult",
+    "run_serving",
+]

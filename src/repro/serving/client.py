@@ -1,0 +1,513 @@
+"""Simulated serving clients: location caching over the routed path.
+
+M logical clients drive one :class:`~repro.serving.router.Router` under
+the same discipline the concurrency layer established (DESIGN.md
+decision 14): each client is a *step generator* yielding the simulated
+nanoseconds its current step consumed, and the driver always resumes
+the client with the smallest simulated clock (ties broken by a seeded
+permutation). Doorbell events — batch-full and batch-timer flushes —
+live on a simulated-time heap and are processed before any client whose
+clock has passed them, so the whole run (interleaving, queue contents,
+op results, final table bytes) is a pure function of (table, streams,
+parameters, seed).
+
+Each client keeps a **location cache**: key → (shard, segment info
+address), fed from the location the router reports with every routed
+reply. A later query for a hinted key takes the one-sided fast path —
+pay the wire cost, probe that exact segment directly (its simulated NVM
+cost lands on the client's clock), and skip the shard queue entirely.
+Hints go stale when a segment split moves the key; the protocol is
+*miss-and-retry*: splits sweep moved tenants out of the victim segment
+and updates are in-place, so a stale hint can only ever **miss** —
+never return a wrong value — and a hinted miss invalidates the hint and
+re-routes through the server, whose reply re-primes the cache. Every
+one-sided hit is checked against the shadow model at its linearization
+point (``wrong_answers`` must stay 0), and the final table contents
+must equal the shadow applied in flush order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.bench.workload import LatencyRecorder
+from repro.concurrency.scheduler import ClientOp
+from repro.serving.netmodel import NetworkModel
+from repro.serving.router import Request, Router, ServedReply
+
+#: sentinel a client generator yields while waiting for a routed reply
+_WAIT = object()
+
+
+@dataclass
+class ServedRecord:
+    """One client op as it completed, in completion order.
+
+    ``one_sided`` marks queries answered by the location-cache fast
+    path (no server involvement); ``retried`` marks ops that first took
+    the fast path, missed on a stale hint, and re-routed."""
+
+    client: int
+    op_index: int
+    op: ClientOp
+    issue_ns: float
+    done_ns: float
+    ok: bool
+    found: bytes | None = None
+    one_sided: bool = False
+    retried: bool = False
+
+
+@dataclass
+class ServingResult:
+    """Everything one serving run produced.
+
+    ``check_failures`` non-empty (or ``wrong_answers`` non-zero) means
+    the serving protocol itself is broken — callers should treat the
+    run as failed, not as a slow run."""
+
+    n_clients: int
+    #: ops submitted across all clients
+    ops: int
+    #: completed ops in completion order
+    committed: list[ServedRecord]
+    #: per-client end-to-end latency (wire + queue + service)
+    per_client: list[LatencyRecorder]
+    overall: LatencyRecorder
+    #: simulated wall-clock span of the whole run (max client clock)
+    span_ns: float
+    #: queries answered by the one-sided location-cache fast path
+    one_sided_reads: int = 0
+    #: requests that went through the router queues
+    routed_ops: int = 0
+    #: hinted probes that missed (stale or swept hints, then re-routed)
+    hint_misses: int = 0
+    #: one-sided hits that disagreed with the shadow — must be 0
+    wrong_answers: int = 0
+    #: ops that legitimately failed (e.g. insert into a full shard)
+    failed_ops: int = 0
+    #: router flush count across all shards
+    flushes: int = 0
+    #: ops executed through flushes (mean batch = batched_ops/flushes)
+    batched_ops: int = 0
+    #: deepest any shard queue got
+    max_queue_depth: int = 0
+    #: shadow-model violations (must be empty)
+    check_failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the shadow checks all passed."""
+        return not self.check_failures and self.wrong_answers == 0
+
+    def throughput_kops(self) -> float:
+        """Completed ops per simulated millisecond (kops/s simulated)."""
+        if self.span_ns <= 0:
+            return 0.0
+        return len(self.committed) / self.span_ns * 1e6
+
+    def mean_batch(self) -> float:
+        """Average ops per flush."""
+        return self.batched_ops / self.flushes if self.flushes else 0.0
+
+
+class _ServingDriver:
+    """One run's mutable state; :func:`run_serving` drives it."""
+
+    def __init__(
+        self,
+        table,
+        streams,
+        *,
+        net,
+        batch_max,
+        batch_wait_ns,
+        wakeup_ns,
+        dispatch_ns,
+        location_cache,
+        seed,
+        shadow,
+        metrics,
+        timeline,
+    ) -> None:
+        self.router = Router(
+            table,
+            net,
+            batch_max=batch_max,
+            batch_wait_ns=batch_wait_ns,
+            wakeup_ns=wakeup_ns,
+            dispatch_ns=dispatch_ns,
+            metrics=metrics,
+            timeline=timeline,
+        )
+        self.table = table
+        self.streams = streams
+        self.seed = seed
+        self.use_cache = location_cache
+        self.metrics = metrics
+        self.timeline = timeline
+        self.shadow = dict(shadow) if shadow is not None else dict(table.items())
+        n = len(streams)
+        self.clock = [0.0] * n
+        self.caches: list[dict[bytes, tuple[int, int]]] = [{} for _ in range(n)]
+        self.per_client = [LatencyRecorder() for _ in range(n)]
+        self.overall = LatencyRecorder()
+        self.committed: list[ServedRecord] = []
+        self.one_sided_reads = 0
+        self.routed_ops = 0
+        self.hint_misses = 0
+        self.wrong_answers = 0
+        self.failed_ops = 0
+        self.check_failures: list[str] = []
+        spec = table.spec
+        self._read_bytes = spec.key_size
+        self._write_bytes = spec.key_size + spec.value_size
+        self._value_bytes = spec.value_size
+        # the doorbell heap: (time, seq, kind, shard, generation)
+        self._heap: list[tuple[float, int, str, int, int]] = []
+        self._seq = itertools.count()
+        #: reply payload for a client resumed after _WAIT
+        self._pending: dict[int, tuple[bool, bytes | None, tuple | None]] = {}
+
+    # ------------------------------------------------------------------
+    # client op generators (each yields simulated-ns step costs)
+
+    def _client_gen(self, client: int, stream):
+        """The whole life of one client: its ops, in order."""
+        net = self.router.net
+        cache = self.caches[client]
+        for op_index, op in enumerate(stream):
+            issue = self.clock[client]
+            retried = False
+            if self.use_cache and op.kind == "query":
+                hint = cache.get(op.key)
+                if hint is not None:
+                    # one-sided fast path: wire out+back, then probe the
+                    # hinted segment directly — no queue, no server CPU
+                    yield net.one_sided_read_ns(self._value_bytes)
+                    value, probe_cost = self._one_sided_probe(hint, op.key)
+                    self.one_sided_reads += 1
+                    if self.metrics is not None:
+                        self.metrics.counter("serving.one_sided").inc()
+                    yield probe_cost
+                    if value is not None:
+                        self._check_one_sided(client, op, value)
+                        self._commit(
+                            client, op_index, op, issue,
+                            ok=True, found=value, one_sided=True,
+                        )
+                        continue
+                    # stale (or swept) hint: invalidate and re-route —
+                    # the miss-and-retry protocol never trusts a miss
+                    self.hint_misses += 1
+                    retried = True
+                    del cache[op.key]
+                    if self.metrics is not None:
+                        self.metrics.counter("serving.hint_misses").inc()
+            payload = (
+                self._write_bytes
+                if op.kind in ("insert", "update")
+                else self._read_bytes
+            )
+            yield net.request_ns(payload)
+            reply = yield self._submit(client, op_index, op)
+            ok, found, location = reply
+            if self.use_cache and location is not None and op.kind != "delete":
+                cache[op.key] = location
+            elif op.kind == "delete":
+                cache.pop(op.key, None)
+            self._commit(
+                client, op_index, op, issue,
+                ok=ok, found=found, retried=retried,
+            )
+
+    def _submit(self, client: int, op_index: int, op: ClientOp):
+        """Enqueue one routed request at the client's current clock and
+        schedule whatever doorbell event that produced; the caller
+        yields the returned ``_WAIT`` and blocks until delivery."""
+        shard = self.router.shard_of(op.key)
+        now = self.clock[client]
+        event = self.router.enqueue(shard, Request(client, op_index, op, now))
+        self.routed_ops += 1
+        if event is not None:
+            self._push(event, shard)
+        return _WAIT
+
+    def _one_sided_probe(
+        self, hint: tuple[int, int], key: bytes
+    ) -> tuple[bytes | None, float]:
+        """Read ``key`` directly from the hinted segment, metering the
+        probe's simulated NVM cost (charged to the client — a one-sided
+        read involves no server CPU and no ``busy_until``)."""
+        shard, seg_addr = hint
+        table = self.router.table.tables[shard]
+        target = table.segment_at(seg_addr) if hasattr(table, "segment_at") else table
+        if target is None:
+            # the segment address no longer names a live segment
+            return None, 0.0
+        mark = self.router._shard_clock(shard)
+        value = target.query(key)
+        return value, self.router._shard_clock(shard) - mark
+
+    # ------------------------------------------------------------------
+    # shadow model (applied in execution order)
+
+    def _check_one_sided(self, client: int, op: ClientOp, value: bytes) -> None:
+        """A one-sided *hit* linearizes at its probe; it must agree with
+        the shadow or the staleness protocol is broken."""
+        expected = self.shadow.get(op.key)
+        if value != expected:
+            self.wrong_answers += 1
+            self.check_failures.append(
+                f"client {client} one-sided read {op.key.hex()}: got "
+                f"{value.hex()}, shadow says "
+                f"{expected.hex() if expected else None}"
+            )
+
+    def _apply_shadow(self, reply: ServedReply) -> None:
+        """Apply one flushed op to the shadow at its linearization point
+        (flush execution order) and check the table agreed."""
+        op = reply.request.op
+        key = op.key
+        result = reply.result
+        live = key in self.shadow
+        if op.kind == "query":
+            expected = self.shadow.get(key)
+            if result != expected:
+                self.check_failures.append(
+                    f"client {reply.request.client} routed query "
+                    f"{key.hex()}: got "
+                    f"{result.hex() if result else None}, shadow says "
+                    f"{expected.hex() if expected else None}"
+                )
+        elif op.kind == "insert":
+            if result:
+                if live:
+                    self.check_failures.append(
+                        f"insert of live key {key.hex()} succeeded"
+                    )
+                self.shadow[key] = op.value
+            else:
+                self.failed_ops += 1
+        elif op.kind == "update":
+            if result and live:
+                self.shadow[key] = op.value
+            elif live:
+                self.check_failures.append(f"update lost live key {key.hex()}")
+            else:
+                if result:
+                    self.check_failures.append(
+                        f"update of dead key {key.hex()} succeeded"
+                    )
+                self.failed_ops += 1
+        elif op.kind == "delete":
+            if bool(result) != live:
+                self.check_failures.append(
+                    f"delete of key {key.hex()} disagrees with the shadow "
+                    f"(deleted={result}, live={live})"
+                )
+            if result and live:
+                del self.shadow[key]
+            if not result:
+                self.failed_ops += 1
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+
+    def _commit(
+        self,
+        client: int,
+        op_index: int,
+        op: ClientOp,
+        issue: float,
+        *,
+        ok: bool,
+        found: bytes | None = None,
+        one_sided: bool = False,
+        retried: bool = False,
+    ) -> None:
+        done = self.clock[client]
+        record = ServedRecord(
+            client=client,
+            op_index=op_index,
+            op=op,
+            issue_ns=issue,
+            done_ns=done,
+            ok=ok,
+            found=found,
+            one_sided=one_sided,
+            retried=retried,
+        )
+        self.committed.append(record)
+        latency = done - issue
+        index = len(self.committed) - 1
+        self.per_client[client].record(latency, index)
+        self.overall.record(latency, index)
+        if self.metrics is not None:
+            self.metrics.histogram("serving.latency").record(latency)
+        if self.timeline is not None:
+            self.timeline.observe("latency", done, latency)
+            self.timeline.inc("ops", done)
+
+    def _push(self, event: tuple, shard: int) -> None:
+        """Schedule one doorbell event on the simulated-time heap."""
+        if event[0] == "flush":
+            heapq.heappush(
+                self._heap, (event[1], next(self._seq), "flush", shard, -1)
+            )
+        else:
+            heapq.heappush(
+                self._heap, (event[1], next(self._seq), "timer", shard, event[2])
+            )
+
+    def _flush(self, shard: int, now: float, ready: set[int]) -> None:
+        """Run one shard flush: execute the batch, apply the shadow in
+        execution order, deliver replies (unblocking their clients at
+        the delivery time) and schedule the shard's next doorbell."""
+        replies, followup = self.router.flush(shard, now)
+        if followup is not None:
+            self._push(followup, shard)
+        for reply in replies:
+            self._apply_shadow(reply)
+            op = reply.request.op
+            if op.kind == "query":
+                payload = (True, reply.result, reply.location)
+            else:
+                payload = (bool(reply.result), None, reply.location)
+            client = reply.request.client
+            self.clock[client] = reply.delivery_ns
+            self._pending[client] = payload
+            ready.add(client)
+
+    # ------------------------------------------------------------------
+    # the interleaver
+
+    def run(self) -> ServingResult:
+        """Drive every client to completion and run the final check."""
+        n = len(self.streams)
+        order = list(range(n))
+        random.Random((self.seed << 6) ^ 0x5E21).shuffle(order)
+        priority = {client: rank for rank, client in enumerate(order)}
+        generators = [
+            self._client_gen(client, stream)
+            for client, stream in enumerate(self.streams)
+        ]
+        alive = set(range(n))
+        ready = set(range(n))
+        heap = self._heap
+        while alive:
+            if ready:
+                client = min(ready, key=lambda c: (self.clock[c], priority[c]))
+                next_clock = self.clock[client]
+            else:
+                client = None
+                next_clock = math.inf
+            if heap and heap[0][0] <= next_clock:
+                t, _, kind, shard, generation = heapq.heappop(heap)
+                if kind == "timer" and not self.router.timer_valid(
+                    shard, generation
+                ):
+                    continue
+                self._flush(shard, t, ready)
+                continue
+            if client is None:
+                raise RuntimeError(
+                    "serving deadlock: clients blocked with no doorbell armed"
+                )
+            try:
+                step = generators[client].send(self._pending.pop(client, None))
+            except StopIteration:
+                alive.discard(client)
+                ready.discard(client)
+                continue
+            if step is _WAIT:
+                ready.discard(client)
+            else:
+                self.clock[client] += step
+        self._final_check()
+        return ServingResult(
+            n_clients=n,
+            ops=sum(len(s) for s in self.streams),
+            committed=self.committed,
+            per_client=self.per_client,
+            overall=self.overall,
+            span_ns=max(self.clock) if self.clock else 0.0,
+            one_sided_reads=self.one_sided_reads,
+            routed_ops=self.routed_ops,
+            hint_misses=self.hint_misses,
+            wrong_answers=self.wrong_answers,
+            failed_ops=self.failed_ops,
+            flushes=self.router.flushes,
+            batched_ops=self.router.batched_ops,
+            max_queue_depth=self.router.max_queue_depth,
+            check_failures=self.check_failures,
+        )
+
+    def _final_check(self) -> None:
+        """Final-state oracle: the table's contents must equal the
+        shadow applied in flush order."""
+        final = dict(self.table.items())
+        for key, value in self.shadow.items():
+            got = final.get(key)
+            if got != value:
+                self.check_failures.append(
+                    f"final state lost key {key.hex()}: expected "
+                    f"{value.hex()}, found {got.hex() if got else None}"
+                )
+        for key in final:
+            if key not in self.shadow:
+                self.check_failures.append(
+                    f"final state has phantom key {key.hex()}"
+                )
+
+
+def run_serving(
+    table,
+    streams: list[list[ClientOp]],
+    *,
+    net: NetworkModel,
+    batch_max: int = 8,
+    batch_wait_ns: float = 4000.0,
+    wakeup_ns: float = 1500.0,
+    dispatch_ns: float = 250.0,
+    location_cache: bool = True,
+    seed: int = 42,
+    shadow: dict[bytes, bytes] | None = None,
+    metrics=None,
+    timeline=None,
+) -> ServingResult:
+    """Serve ``streams`` (one op list per remote client) against a
+    :class:`~repro.core.ShardedTable` through the batching router.
+
+    ``net`` prices the wire (see :mod:`repro.serving.netmodel`);
+    ``batch_max`` / ``batch_wait_ns`` set the doorbell;
+    ``wakeup_ns`` / ``dispatch_ns`` price the server CPU (per flush and
+    per request — see :class:`~repro.serving.router.Router`); turning
+    ``location_cache`` off forces every query through the routed path
+    (the caching ablation). ``metrics`` / ``timeline`` receive
+    ``serving.*`` counters, queue-depth gauges and latency channels;
+    attaching them changes nothing about the interleaving. The result
+    is a pure function of the arguments: same table state + streams +
+    parameters + seed ⇒ identical interleaving, queue-depth timeline
+    and final table bytes."""
+    if not streams:
+        raise ValueError("need at least one client stream")
+    driver = _ServingDriver(
+        table,
+        streams,
+        net=net,
+        batch_max=batch_max,
+        batch_wait_ns=batch_wait_ns,
+        wakeup_ns=wakeup_ns,
+        dispatch_ns=dispatch_ns,
+        location_cache=location_cache,
+        seed=seed,
+        shadow=shadow,
+        metrics=metrics,
+        timeline=timeline,
+    )
+    return driver.run()

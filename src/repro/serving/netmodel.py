@@ -1,0 +1,110 @@
+"""Discrete network cost model for the simulated serving tier.
+
+The paper evaluates the hash scheme as a local data structure; serving
+it to remote clients adds a second cost domain — the wire. This module
+encodes that domain the same way :mod:`repro.nvm.latency` encodes the
+memory hierarchy: a frozen per-event cost table in *simulated*
+nanoseconds, composed with the NVM model purely on the simulated clock,
+so a serving run stays a deterministic pure function of its inputs (no
+sockets, no wall-clock, byte-identical across processes and
+``--jobs``).
+
+Costs follow the standard linear model: each message pays a propagation
+hop plus a fixed per-message software/NIC overhead plus a bandwidth
+term proportional to its payload. One-sided reads (the location-cache
+fast path, RDMA-READ-style) pay two hops and the bandwidth of a small
+descriptor plus the returned payload, but *no server CPU* — which is
+exactly why a client-side location cache helps: a hinted read never
+waits in a shard's request queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: fixed framing bytes accounted per message (header, opcode, request id)
+MESSAGE_HEADER_BYTES = 16
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Per-message costs charged by the serving tier, in simulated ns.
+
+    ``hop_ns`` is one-way propagation plus switching, ``msg_overhead_ns``
+    the per-message NIC/doorbell/software cost on the two-sided RPC
+    path, ``ns_per_byte`` the inverse link bandwidth, and
+    ``one_sided_overhead_ns`` the (smaller) per-operation cost of a
+    one-sided read that bypasses the remote CPU entirely.
+    """
+
+    #: name of the network preset (for reports)
+    name: str = "rdma-dc"
+    #: one-way propagation + switching per message
+    hop_ns: float = 1500.0
+    #: per-message software/NIC overhead on the RPC path
+    msg_overhead_ns: float = 250.0
+    #: inverse bandwidth (ns per payload byte on the wire)
+    ns_per_byte: float = 0.025
+    #: per-operation overhead of a one-sided (remote-CPU-free) read
+    one_sided_overhead_ns: float = 150.0
+
+    def message_ns(self, payload_bytes: int) -> float:
+        """Cost of one message carrying ``payload_bytes`` of payload."""
+        return (
+            self.hop_ns
+            + self.msg_overhead_ns
+            + self.ns_per_byte * (MESSAGE_HEADER_BYTES + payload_bytes)
+        )
+
+    def request_ns(self, payload_bytes: int) -> float:
+        """Client→server request message cost (alias of
+        :meth:`message_ns`, named for call-site readability)."""
+        return self.message_ns(payload_bytes)
+
+    def response_ns(self, payload_bytes: int) -> float:
+        """Server→client response message cost."""
+        return self.message_ns(payload_bytes)
+
+    def rpc_ns(self, request_bytes: int, response_bytes: int) -> float:
+        """Round-trip wire cost of one two-sided RPC (excludes queueing
+        and service time, which the router accounts separately)."""
+        return self.message_ns(request_bytes) + self.message_ns(response_bytes)
+
+    def one_sided_read_ns(self, payload_bytes: int) -> float:
+        """Wire cost of one one-sided read returning ``payload_bytes``:
+        two hops (descriptor out, payload back) and no remote CPU."""
+        return (
+            2.0 * self.hop_ns
+            + self.one_sided_overhead_ns
+            + self.ns_per_byte * (MESSAGE_HEADER_BYTES + payload_bytes)
+        )
+
+
+#: Datacenter RDMA fabric: ~1.5 µs hops, ~40 GB/s links, cheap one-sided
+#: verbs — the setting where location caches shine.
+RDMA_DC = NetworkModel(name="rdma-dc")
+
+#: Kernel TCP on a LAN: ~25 µs hops and heavy per-message software cost;
+#: "one-sided" reads degrade to a thin server-bypass RPC.
+TCP_LAN = NetworkModel(
+    name="tcp-lan",
+    hop_ns=25_000.0,
+    msg_overhead_ns=2_000.0,
+    ns_per_byte=0.1,
+    one_sided_overhead_ns=4_000.0,
+)
+
+#: Same-host loopback: sub-µs hops — the "network is almost free"
+#: ablation that isolates queueing/batching effects from wire cost.
+LOOPBACK = NetworkModel(
+    name="loopback",
+    hop_ns=300.0,
+    msg_overhead_ns=100.0,
+    ns_per_byte=0.005,
+    one_sided_overhead_ns=50.0,
+)
+
+#: All presets keyed by name, for CLI / benchmark parameterisation.
+NETWORK_PRESETS: dict[str, NetworkModel] = {
+    model.name: model for model in (RDMA_DC, TCP_LAN, LOOPBACK)
+}

@@ -377,6 +377,59 @@ def test_sharded_rejects_out_of_range_shard_index():
 
 
 # ----------------------------------------------------------------------
+# batch/scalar duplicate-key parity (the delete_many claim-routing bug)
+
+
+def test_delete_many_duplicate_key_matches_scalar_with_two_copies():
+    # insert never checks presence, so two copies of one key can be
+    # resident; a batch naming the key twice must delete both, exactly
+    # like the scalar loop (the batch path used to report False for the
+    # second occurrence and leave the second copy live)
+    def build():
+        table = GroupHashTable(small_region(), 512, group_size=32)
+        items = random_items(20, seed=31)
+        for k, v in items:
+            table.insert(k, v)
+        key = items[0][0]
+        table.insert(key, b"DUP-COPY")
+        return table, key
+
+    scalar_table, key = build()
+    batch_table, _ = build()
+    keys = [key, key, key]
+    scalar_results = [scalar_table.delete(k) for k in keys]
+    assert scalar_results == [True, True, False]
+    assert batch_table.delete_many(keys) == scalar_results
+    assert batch_table.count == scalar_table.count
+    assert dict(batch_table.items()) == dict(scalar_table.items())
+
+
+@pytest.mark.parametrize("growable", [False, True])
+def test_sharded_delete_many_duplicate_key_matches_scalar(growable):
+    # the parity must hold through the routing layer for both table
+    # families a shard can host (fixed group tables and growable
+    # directory tables — the hasattr fallback family audit)
+    def build():
+        st = ShardedTable(1 << 10, n_shards=4, growable=growable, seed=5)
+        items = random_items(60, seed=32)
+        for k, v in items:
+            st.insert(k, v)
+        dups = [items[i][0] for i in (0, 7, 13)]
+        for k in dups:
+            st.insert(k, b"2ndCOPYx")
+        return st, dups
+
+    scalar_st, dups = build()
+    batch_st, _ = build()
+    keys = [k for dup in dups for k in (dup, dup)]
+    scalar_results = [scalar_st.delete(k) for k in keys]
+    assert scalar_results == [True] * len(keys)
+    assert batch_st.delete_many(keys) == scalar_results
+    assert batch_st.count == scalar_st.count
+    assert dict(batch_st.items()) == dict(scalar_st.items())
+
+
+# ----------------------------------------------------------------------
 # wall-clock: the raw backend must actually be fast
 
 

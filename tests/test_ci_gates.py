@@ -190,6 +190,37 @@ def test_perf_gate_gates_on_health_failure(tmp_path, capsys):
     assert "FAIL: timeline health growth.split_spike_ratio" in out
 
 
+def _serving_dump(kops=500.0, wrong=0, one_sided=200) -> dict:
+    cell = {
+        "spec": {
+            "n_clients": 64,
+            "batch_max": 8,
+            "location_cache": True,
+            "seed": 1,
+        },
+        "throughput_kops": kops,
+        "total": {"p99": 900.0},
+        "wrong_answers": wrong,
+        "shadow_failures": 0,
+        "one_sided_reads": one_sided,
+    }
+    return {"serving": {"cells": [cell]}}
+
+
+def test_perf_gate_serving_wrong_answers_zero_tolerance(tmp_path, capsys):
+    assert _run(tmp_path, _serving_dump(), _serving_dump()) == 0
+    # a single wrong answer off a zero baseline is a hard failure — this
+    # is a correctness gate wearing a perf gate's clothes
+    assert _run(tmp_path, _serving_dump(wrong=1), _serving_dump()) == 1
+    assert "FAIL: serving/64c b8 +loc wrong_answers" in capsys.readouterr().out
+
+
+def test_perf_gate_serving_catches_dead_fast_path(tmp_path, capsys):
+    # the location-cache path silently never firing must not pass
+    assert _run(tmp_path, _serving_dump(one_sided=0), _serving_dump()) == 1
+    assert "one_sided_reads" in capsys.readouterr().out
+
+
 def test_perf_gate_reports_missing_baseline_file(tmp_path, capsys):
     fresh_path = tmp_path / "fresh.json"
     fresh_path.write_text(json.dumps(_contention_dump()))
@@ -208,7 +239,11 @@ def test_perf_gate_rejects_dumps_with_no_common_section(tmp_path, capsys):
 def test_perf_gate_real_baselines_self_compare():
     """The committed baselines gate cleanly against themselves."""
     root = SCRIPTS.parent
-    for name in ("bench_contention.json", "bench_timeline.json"):
+    for name in (
+        "bench_contention.json",
+        "bench_timeline.json",
+        "bench_serving.json",
+    ):
         path = root / name
         assert path.exists(), f"committed baseline {name} is missing"
         assert ci_perf_gate.main([str(path), "--baseline", str(path)]) == 0

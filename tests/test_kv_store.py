@@ -105,6 +105,67 @@ def test_failed_overwrite_restores_old_value(monkeypatch):
     assert store.slab.allocated_chunks() == chunks
 
 
+def test_overwrite_split_error_restores_old_value(monkeypatch):
+    """Regression: a growable index whose re-insert raised
+    :class:`SplitError` mid-overwrite used to propagate the exception
+    with the old mapping already deleted — the key vanished from the
+    store and the new chunk leaked. The failure must instead roll back
+    like a False insert: old value intact, chunks balanced, ``False``
+    returned."""
+    from repro.core import SplitError
+
+    _, store = make(growable=True, segment_cells=64)
+    assert store.put(b"key", b"old" * 10)
+    chunks = store.slab.allocated_chunks()
+    real_insert = store.index.insert
+    armed = [True]
+
+    def exploding_insert(digest, locator):
+        if armed[0]:  # region exhausted mid-split
+            armed[0] = False
+            raise SplitError("region cannot hold a sibling segment")
+        return real_insert(digest, locator)
+
+    monkeypatch.setattr(store.index, "insert", exploding_insert)
+    assert not store.put(b"key", b"new" * 40)
+    assert store.get(b"key") == b"old" * 10
+    assert len(store) == 1
+    assert store.slab.allocated_chunks() == chunks
+    # the store is not poisoned: the next put goes through unassisted
+    assert store.put(b"key", b"newer" * 8)
+    assert store.get(b"key") == b"newer" * 8
+
+
+def test_put_many_split_error_confined_to_suffix(monkeypatch):
+    """Regression: a :class:`SplitError` thrown by the index mid-batch
+    used to escape ``put_many`` after some locators had published —
+    callers got no results, and the unpublished records' chunks leaked.
+    The batch must instead report exactly which items published and
+    free the rest."""
+    from repro.core import SplitError
+
+    _, store = make(growable=True, segment_cells=64)
+    items = [(f"batch:{i}".encode(), bytes([i]) * 20) for i in range(8)]
+    real_put_many = store.index.put_many
+
+    def failing_put_many(pairs):
+        # publish the first three locators, then die mid-split
+        real_put_many(pairs[:3])
+        raise SplitError("region cannot hold a sibling segment")
+
+    monkeypatch.setattr(store.index, "put_many", failing_put_many)
+    results = store.put_many(items)
+    assert results == [True] * 3 + [False] * 5
+    for (key, value), ok in zip(items, results):
+        assert store.get(key) == (value if ok else None)
+    assert len(store) == 3
+    assert store.slab.allocated_chunks() == 3
+    # not poisoned: the suffix goes in fine once the index cooperates
+    monkeypatch.setattr(store.index, "put_many", real_put_many)
+    assert store.put_many(items[3:]) == [True] * 5
+    assert dict(store.items()) == dict(items)
+
+
 def test_oversized_key_rejected_up_front():
     """Regression: an over-bound key used to surface as a slab
     MemoryError (or silently squeeze into the value headroom) instead
